@@ -1,0 +1,207 @@
+(* Command-line interface to the Elk compiler framework.
+
+   Subcommands:
+     info     - show a model's operator graph summary
+     compile  - compile one model with one design, print the plan summary
+     compare  - run all designs on one model, print a comparison table
+     program  - print the generated preload_async/execute program
+
+   Example:
+     elk_cli compare -m llama2-13b -b 32 --scale 8 *)
+
+open Cmdliner
+module B = Elk_baselines.Baselines
+module D = Elk_dse.Dse
+
+let model_conv =
+  let parse s =
+    match Elk_model.Zoo.by_name s with
+    | Some cfg -> Ok cfg
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown model %S (try %s)" s
+               (String.concat ", "
+                  (List.map (fun c -> c.Elk_model.Zoo.cfg_name) Elk_model.Zoo.all))))
+  in
+  Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt c.Elk_model.Zoo.cfg_name)
+
+let model_t =
+  Arg.(value & opt model_conv Elk_model.Zoo.llama2_13b & info [ "m"; "model" ] ~doc:"Model name.")
+
+let batch_t = Arg.(value & opt int 32 & info [ "b"; "batch" ] ~doc:"Batch size.")
+let ctx_t = Arg.(value & opt int 0 & info [ "ctx" ] ~doc:"KV context length (0 = 2048/scale).")
+
+let scale_t =
+  Arg.(value & opt int 8 & info [ "scale" ] ~doc:"Width scale divisor (1 = full size).")
+
+let layer_factor_t =
+  Arg.(value & opt int 10 & info [ "layer-factor" ] ~doc:"Layer count divisor.")
+
+let chips_t = Arg.(value & opt int 4 & info [ "chips" ] ~doc:"Chips in the pod.")
+let cores_t = Arg.(value & opt int 64 & info [ "cores" ] ~doc:"Cores per chip.")
+
+let topo_t =
+  Arg.(
+    value
+    & opt (enum [ ("a2a", `All_to_all); ("mesh", `Mesh) ]) `All_to_all
+    & info [ "topology" ] ~doc:"Interconnect topology: a2a or mesh.")
+
+let design_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("basic", B.Basic); ("static", B.Static); ("elk-dyn", B.Elk_dyn);
+             ("elk-full", B.Elk_full); ("ideal", B.Ideal) ])
+        B.Elk_full
+    & info [ "d"; "design" ] ~doc:"Design: basic, static, elk-dyn, elk-full or ideal.")
+
+let prefill_t =
+  Arg.(value & flag & info [ "prefill" ] ~doc:"Use the prefill phase instead of decode.")
+
+let build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill =
+  let cfg =
+    if scale <= 1 then cfg else Elk_model.Zoo.scale cfg ~factor:scale ~layer_factor
+  in
+  let ctx = if ctx > 0 then ctx else max 32 (2048 / max 1 scale) in
+  let phase =
+    if prefill then Elk_model.Zoo.Prefill { batch; seq = ctx }
+    else Elk_model.Zoo.Decode { batch; ctx }
+  in
+  Elk_model.Zoo.build cfg phase
+
+let make_env ~chips ~cores ~topology = D.env ~chips ~cores ~topology ()
+
+let info_cmd =
+  let run cfg scale layer_factor batch ctx prefill =
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    Format.printf "%a@." Elk_model.Graph.pp_summary g;
+    Format.printf "HBM-heavy operators: %d (threshold %a)@."
+      (List.length (Elk_model.Graph.hbm_heavy_ids g))
+      Elk_util.Units.pp_bytes
+      (Elk_model.Graph.mean_hbm_bytes g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show a model's operator-graph summary.")
+    Term.(const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t)
+
+let compile_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology trace codegen_dir
+      save_plan =
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
+    Format.printf "%a@." Elk.Compile.pp_summary c;
+    (match trace with
+    | None -> ()
+    | Some path ->
+        let r = Elk_sim.Sim.run env.D.ctx c.Elk.Compile.schedule in
+        Elk_sim.Trace.write_chrome_json ~path c.Elk.Compile.chip_graph r;
+        Format.printf "wrote Chrome trace (%d events) to %s@."
+          (Elk_sim.Trace.event_count r) path);
+    (match codegen_dir with
+    | None -> ()
+    | Some dir ->
+        let gen = Elk.Codegen.generate env.D.ctx c.Elk.Compile.schedule in
+        Elk.Codegen.write_to ~dir gen;
+        Format.printf "wrote %d kernels (%d LoC) to %s@."
+          (List.length gen.Elk.Codegen.kernels)
+          (Elk.Codegen.total_loc gen) dir);
+    match save_plan with
+    | None -> ()
+    | Some path ->
+        Elk.Planio.save ~path c.Elk.Compile.schedule;
+        Format.printf "saved plan to %s@." path
+  in
+  let trace_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~doc:"Write a Chrome trace of the simulated run to $(docv).")
+  in
+  let codegen_t =
+    Arg.(value & opt (some string) None
+         & info [ "emit-kernels" ] ~doc:"Write generated kernel sources under $(docv).")
+  in
+  let save_plan_t =
+    Arg.(value & opt (some string) None
+         & info [ "save-plan" ] ~doc:"Serialize the compiled plan to $(docv).")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a model with Elk and print the plan summary.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ trace_t $ codegen_t $ save_plan_t)
+
+let compare_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology =
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    let t =
+      Elk_util.Table.create
+        ~title:(Printf.sprintf "designs on %s (simulated)" (Elk_model.Graph.name g))
+        ~columns:[ "design"; "latency"; "HBM util"; "NoC util"; "TFLOPS" ]
+    in
+    List.iter
+      (fun d ->
+        let e = D.evaluate env g d in
+        Elk_util.Table.add_row t
+          [ B.name d;
+            Format.asprintf "%a" Elk_util.Units.pp_time e.D.latency;
+            Printf.sprintf "%.1f%%" (100. *. e.D.hbm_util);
+            Printf.sprintf "%.1f%%" (100. *. e.D.noc_util);
+            Printf.sprintf "%.2f" e.D.tflops ])
+      B.all;
+    Elk_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Evaluate all designs on one model with the simulator.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t)
+
+let program_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design limit =
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    match B.plan env.D.ctx ~pod:env.D.pod g design with
+    | None -> print_endline "Ideal is a roofline; it has no device program."
+    | Some s ->
+        let p = Elk.Program.of_schedule s in
+        Array.iteri
+          (fun i instr ->
+            if i < limit then
+              match instr with
+              | Elk.Program.Preload_async op -> Printf.printf "preload_async(op=%d)\n" op
+              | Elk.Program.Execute op -> Printf.printf "execute(op=%d)\n" op)
+          p.Elk.Program.instrs;
+        if Array.length p.Elk.Program.instrs > limit then
+          Printf.printf "... (%d more instructions)\n"
+            (Array.length p.Elk.Program.instrs - limit)
+  in
+  let limit_t =
+    Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Max instructions to print.")
+  in
+  Cmd.v
+    (Cmd.info "program" ~doc:"Print the generated preload_async/execute device program.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ limit_t)
+
+let report_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology =
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
+    let r = Elk_sim.Sim.run env.D.ctx c.Elk.Compile.schedule in
+    Elk_dse.Report.print env c r
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Compile, simulate and print a Markdown diagnostics report.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t)
+
+let () =
+  let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "elk_cli" ~doc)
+          [ info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd ]))

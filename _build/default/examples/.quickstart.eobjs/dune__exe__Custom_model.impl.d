@@ -1,0 +1,1 @@
+examples/custom_model.ml: Elk Elk_dse Elk_model Elk_sim Elk_util Format

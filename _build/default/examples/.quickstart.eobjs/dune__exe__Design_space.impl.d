@@ -1,0 +1,1 @@
+examples/design_space.ml: Elk_arch Elk_baselines Elk_dse Elk_model Elk_util List Printf

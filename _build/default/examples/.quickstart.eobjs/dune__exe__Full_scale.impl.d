@@ -1,0 +1,1 @@
+examples/full_scale.ml: Elk_arch Elk_cost Elk_partition Elk_tensor Elk_util Format List Unix

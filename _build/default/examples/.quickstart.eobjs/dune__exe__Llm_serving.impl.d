@@ -1,0 +1,1 @@
+examples/llm_serving.ml: Array Elk_baselines Elk_dse Elk_model Elk_tensor Elk_util List Printf

@@ -1,0 +1,1 @@
+examples/llm_serving.mli:

@@ -1,0 +1,1 @@
+examples/moe_serving.ml: Elk_baselines Elk_dse Elk_model Elk_tensor Elk_util Format Graph List Opspec Printf

@@ -1,0 +1,1 @@
+examples/prefill_vs_decode.ml: Elk_baselines Elk_dse Elk_model Elk_util Format List Printf

@@ -1,0 +1,1 @@
+examples/prefill_vs_decode.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Elk Elk_arch Elk_cost Elk_model Elk_partition Elk_sim Elk_util Format

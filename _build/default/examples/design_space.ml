@@ -1,0 +1,54 @@
+(* Architecture design-space exploration (paper §6.4 in miniature).
+
+     dune exec examples/design_space.exe
+
+   Asks the two questions a chip architect would ask with Elk:
+   1. If I double HBM bandwidth, does serving get faster — and where does
+      the benefit stop? (paper insight 1)
+   2. Should interconnect bandwidth scale together with HBM bandwidth?
+      (paper insight 2) *)
+
+module B = Elk_baselines.Baselines
+module D = Elk_dse.Dse
+
+let () =
+  let cfg = Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:8 ~layer_factor:10 in
+  let g = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch = 32; ctx = 256 }) in
+  let base_hbm = (D.env ()).D.pod.Elk_arch.Arch.chip.Elk_arch.Arch.hbm_bandwidth in
+
+  let t1 =
+    Elk_util.Table.create ~title:"Q1: HBM bandwidth scaling (Elk-Full vs Ideal, us)"
+      ~columns:[ "HBM BW"; "Elk-Full"; "Ideal"; "of ideal" ]
+  in
+  List.iter
+    (fun mult ->
+      let env = D.env ~hbm_bw_per_chip:(mult *. base_hbm) () in
+      let full = (D.evaluate env g B.Elk_full).D.latency in
+      let ideal = (D.evaluate env g B.Ideal).D.latency in
+      Elk_util.Table.add_row t1
+        [ Printf.sprintf "%.2fx" mult; Printf.sprintf "%.0f" (full *. 1e6);
+          Printf.sprintf "%.0f" (ideal *. 1e6);
+          Printf.sprintf "%.0f%%" (100. *. ideal /. full) ])
+    [ 0.25; 0.5; 1.; 2.; 4. ];
+  Elk_util.Table.print t1;
+
+  let t2 =
+    Elk_util.Table.create
+      ~title:"Q2: scaling HBM alone vs HBM + interconnect together (Elk-Full, us)"
+      ~columns:[ "scale"; "HBM only"; "HBM + NoC" ]
+  in
+  List.iter
+    (fun mult ->
+      let hbm_only = D.env ~hbm_bw_per_chip:(mult *. base_hbm) () in
+      let both =
+        D.env ~hbm_bw_per_chip:(mult *. base_hbm) ~link_bw:(mult *. 5.5e9) ()
+      in
+      let l e = (D.evaluate e g B.Elk_full).D.latency *. 1e6 in
+      Elk_util.Table.add_row t2
+        [ Printf.sprintf "%.1fx" mult; Printf.sprintf "%.0f" (l hbm_only);
+          Printf.sprintf "%.0f" (l both) ])
+    [ 1.; 2.; 4. ];
+  Elk_util.Table.print t2;
+  print_endline
+    "Scaling HBM alone saturates once the interconnect becomes the bottleneck;\n\
+     scaling both together keeps improving latency (paper Figs 19 and 22)."

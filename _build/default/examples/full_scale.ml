@@ -1,0 +1,57 @@
+(* Full-scale planning: Elk's operator-level machinery on the real
+   IPU-MK2 geometry (1472 cores x 624 KB), unscaled.
+
+     dune exec examples/full_scale.exe
+
+   End-to-end full-model compilation at this size is possible but slow
+   (thousands of operators x thousands of cores); what this example shows
+   is that nothing in the library is tied to the scaled configuration:
+   the cost model trains on the full chip, and partition-plan enumeration
+   handles full-size Llama2-13B operators, reproducing the paper's
+   Fig 5 space-time frontiers at their true scale (per-core execution
+   spaces of tens-to-hundreds of KB out of 624 KB). *)
+
+module P = Elk_partition.Partition
+
+let () =
+  let chip = Elk_arch.Arch.Presets.ipu_mk2_full in
+  Format.printf "Chip: %a@." Elk_arch.Arch.pp_chip chip;
+  let t0 = Unix.gettimeofday () in
+  let cost = Elk_cost.Costmodel.train ~samples_per_kind:300 chip in
+  Format.printf "cost model trained in %.2fs@.@." (Unix.gettimeofday () -. t0);
+  let ctx = P.make_ctx cost in
+  (* Full-size Llama2-13B decode operators, sharded across 4 chips. *)
+  let ops =
+    [
+      ("attn_qkv (q slice)", Elk_tensor.Opspec.matmul ~name:"q_proj" ~m:32 ~n:1280 ~k:5120 ());
+      ("ffn_gate", Elk_tensor.Opspec.matmul ~name:"ffn_gate" ~m:32 ~n:3456 ~k:5120 ());
+      ( "attn_score (KV ctx 2048)",
+        Elk_tensor.Opspec.batch_matmul ~name:"score" ~batch:320 ~m:1 ~n:2048 ~k:128 () );
+      ("lm_head slice", Elk_tensor.Opspec.matmul ~name:"lm_head" ~m:32 ~n:8000 ~k:5120 ());
+    ]
+  in
+  List.iter
+    (fun (label, op) ->
+      let t0 = Unix.gettimeofday () in
+      let plans = P.enumerate ctx op in
+      let frontier = P.exec_frontier ctx op in
+      Format.printf "%-26s %4d plans, frontier:" label (List.length plans);
+      List.iteri
+        (fun i pt ->
+          if i < 6 then
+            Format.printf " %.0fKB->%.0fus"
+              (pt.Elk_util.Pareto.x /. 1e3)
+              (pt.Elk_util.Pareto.payload.P.exec_time *. 1e6))
+        frontier;
+      Format.printf "  (%.2fs)@." (Unix.gettimeofday () -. t0))
+    ops;
+  (* The fastest plan's preload-state options at full scale. *)
+  let op = Elk_tensor.Opspec.matmul ~name:"ffn_gate" ~m:32 ~n:3456 ~k:5120 () in
+  let plan = P.fastest_plan ctx op in
+  Format.printf "@.ffn_gate fastest plan: %a@." P.pp_plan plan;
+  List.iter
+    (fun o ->
+      Format.printf "  broadcast %.2f -> preload %a/core, distribute %a/core (%a)@."
+        o.P.frac Elk_util.Units.pp_bytes o.P.preload_space Elk_util.Units.pp_bytes
+        o.P.dist_bytes_per_core Elk_util.Units.pp_time o.P.dist_time)
+    (P.preload_options ctx op plan)

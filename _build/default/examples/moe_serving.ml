@@ -1,0 +1,107 @@
+(* Mixture-of-experts serving (paper §7, "Apply Elk to MoE").
+
+     dune exec examples/moe_serving.exe
+
+   In an MoE layer, each token routes to [k] of [num_experts] FFN experts.
+   All experts share one shape, so Elk compiles a single generic-expert
+   plan, and at runtime the chip preloads only the selected experts'
+   tensors — scheduled after the routing operator has executed, exactly as
+   §7 describes.  We build two operator graphs for the same model:
+
+   - [naive]: every expert's weights are preloaded every step (what a
+     compiler without runtime-conditional preloads must do);
+   - [moe]: only the [k] active experts' weights are preloaded, as
+     separate operators sequenced after the router.
+
+   Elk schedules both; the gap is the value of expert-conditional
+   preloading, and it grows with the expert count. *)
+
+open Elk_tensor
+open Elk_model
+
+let batch = 32
+let hidden = 640
+let expert_ffn = 512
+let layers = 4
+
+let moe_layer b ~layer ~experts_loaded ~after =
+  let add = Graph.add b ~layer in
+  let norm =
+    add ~deps:[ after ] ~role:"ffn_norm"
+      (Opspec.norm ~name:(Printf.sprintf "l%d.norm" layer) ~rows:batch ~cols:hidden ())
+  in
+  let router =
+    add ~deps:[ norm ] ~role:"router"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.router" layer) ~m:batch ~n:64 ~k:hidden ())
+  in
+  (* Each loaded expert is its own operator so its preload is scheduled
+     individually (after the router, per §7). *)
+  let outs =
+    List.init experts_loaded (fun e ->
+        let up =
+          add ~deps:[ router ] ~role:"expert_up"
+            (Opspec.matmul
+               ~name:(Printf.sprintf "l%d.e%d.up" layer e)
+               ~m:batch ~n:expert_ffn ~k:hidden ())
+        in
+        let act =
+          add ~deps:[ up ] ~role:"expert_act"
+            (Opspec.elementwise ~flops_per_point:4.
+               ~name:(Printf.sprintf "l%d.e%d.act" layer e)
+               ~kind:"silu" ~shape:[ batch; expert_ffn ] ())
+        in
+        add ~deps:[ act ] ~role:"expert_down"
+          (Opspec.matmul
+             ~name:(Printf.sprintf "l%d.e%d.down" layer e)
+             ~m:batch ~n:hidden ~k:expert_ffn ()))
+  in
+  add ~deps:(after :: outs) ~role:"ffn_residual"
+    (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+       ~name:(Printf.sprintf "l%d.res" layer)
+       ~kind:"add" ~shape:[ batch; hidden ] ())
+
+let build ~experts_loaded =
+  let b = Graph.builder ~name:(Printf.sprintf "moe-%dexperts" experts_loaded) in
+  let emb =
+    Graph.add b ~role:"embedding"
+      (Opspec.embedding ~name:"emb" ~rows:batch ~vocab:32000 ~hidden ())
+  in
+  let last = ref emb in
+  for layer = 0 to layers - 1 do
+    last := moe_layer b ~layer ~experts_loaded ~after:!last
+  done;
+  Graph.finish b
+
+let () =
+  let env = Elk_dse.Dse.env () in
+  (* The model zoo carries a Mixtral-8x7B configuration (Zoo.mixtral_8x7b);
+     a scaled instance compiles like any other model, with the router and
+     the top-2 active experts' tensors per layer. *)
+  let mixtral = Elk_model.Zoo.scale Elk_model.Zoo.mixtral_8x7b ~factor:8 ~layer_factor:8 in
+  let mg = Elk_model.Zoo.build mixtral (Elk_model.Zoo.Decode { batch = 32; ctx = 256 }) in
+  let e = Elk_dse.Dse.evaluate env mg Elk_baselines.Baselines.Elk_full in
+  Format.printf "Zoo %s: %.0f us/token (top-2 of 8 experts loaded)@.@."
+    mixtral.Elk_model.Zoo.cfg_name (e.Elk_dse.Dse.latency *. 1e6);
+  let t =
+    Elk_util.Table.create
+      ~title:"MoE serving: expert-conditional preloads vs loading all experts"
+      ~columns:[ "experts total"; "active k"; "naive (us)"; "MoE-aware (us)"; "speedup" ]
+  in
+  List.iter
+    (fun (num_experts, k) ->
+      let eval experts_loaded =
+        let g = build ~experts_loaded in
+        (Elk_dse.Dse.evaluate env g Elk_baselines.Baselines.Elk_full)
+          .Elk_dse.Dse.latency
+      in
+      let naive = eval num_experts in
+      let moe = eval k in
+      Elk_util.Table.add_row t
+        [ string_of_int num_experts; string_of_int k;
+          Printf.sprintf "%.0f" (naive *. 1e6); Printf.sprintf "%.0f" (moe *. 1e6);
+          Printf.sprintf "%.2fx" (naive /. moe) ])
+    [ (4, 2); (8, 2); (16, 2) ];
+  Elk_util.Table.print t;
+  print_endline
+    "Conditional preloads keep HBM traffic proportional to the active experts;\n\
+     with 16 experts the naive schedule pays ~8x the preload volume (paper §7)."

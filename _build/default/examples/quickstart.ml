@@ -1,0 +1,53 @@
+(* Quickstart: compile one LLM decode step for an ICCA pod with Elk and
+   inspect the result.
+
+     dune exec examples/quickstart.exe
+
+   The flow below is the whole public API surface a user needs:
+   1. pick a chip/pod configuration        (Elk_arch.Arch.Presets)
+   2. train a cost model for the chip      (Elk_cost.Costmodel.train)
+   3. build an operator graph for a model  (Elk_model.Zoo)
+   4. compile                              (Elk.Compile.compile)
+   5. measure on the event-driven sim      (Elk_sim.Sim.run) *)
+
+let () =
+  (* 1. A 4-chip pod of scaled IPU-like chips (64 cores each; see
+        DESIGN.md for how the scaling preserves the paper's ratios). *)
+  let pod = Elk_arch.Arch.Presets.scaled_pod () in
+  Format.printf "Target: %a@.@." Elk_arch.Arch.pp_pod pod;
+
+  (* 2. Profile-and-fit the cost model (paper Fig 12): random tiles are
+        "measured" on the synthetic device and linear trees are fit. *)
+  let cost = Elk_cost.Costmodel.train pod.Elk_arch.Arch.chip in
+  let ctx = Elk_partition.Partition.make_ctx cost in
+
+  (* 3. One decode step of a 1/8-scale Llama2-13B, batch 32, 256-token
+        KV cache. *)
+  let cfg = Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:8 ~layer_factor:10 in
+  let graph = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch = 32; ctx = 256 }) in
+  Format.printf "Workload: %a@.@." Elk_model.Graph.pp_summary graph;
+
+  (* 4. Compile: partition plans, preload/execution space allocation,
+        operator scheduling and preload reordering. *)
+  let compiled = Elk.Compile.compile ctx ~pod graph in
+  Format.printf "%a@.@." Elk.Compile.pp_summary compiled;
+
+  (* 5. Replay the generated program on the event-driven chip simulator. *)
+  let sim = Elk_sim.Sim.run ctx compiled.Elk.Compile.schedule in
+  Format.printf
+    "Simulated: %a per token  (HBM %.1f%%, interconnect %.1f%%, %.2f TFLOPS/chip)@."
+    Elk_util.Units.pp_time
+    (sim.Elk_sim.Sim.total +. compiled.Elk.Compile.allreduce)
+    (100. *. sim.Elk_sim.Sim.hbm_util)
+    (100. *. sim.Elk_sim.Sim.noc_util)
+    (sim.Elk_sim.Sim.achieved_flops /. 1e12);
+
+  (* Bonus: the first few instructions of the §4.5 device program. *)
+  Format.printf "@.Device program (head):@.";
+  Array.iteri
+    (fun i instr ->
+      if i < 10 then
+        match instr with
+        | Elk.Program.Preload_async op -> Format.printf "  preload_async(op=%d)@." op
+        | Elk.Program.Execute op -> Format.printf "  execute(op=%d)@." op)
+    compiled.Elk.Compile.program.Elk.Program.instrs

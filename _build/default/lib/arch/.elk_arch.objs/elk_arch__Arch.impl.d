@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Elk_util Format Printf Units

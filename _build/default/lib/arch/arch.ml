@@ -1,0 +1,185 @@
+open Elk_util
+
+type topology =
+  | All_to_all
+  | Mesh2d of { rows : int; cols : int }
+  | Clustered of { clusters : int; cluster_size : int; l2_bandwidth : float }
+type link = { latency : float; bandwidth : float }
+
+type chip = {
+  cores : int;
+  sram_per_core : float;
+  net_buffer_per_core : float;
+  freq_hz : float;
+  matmul_flops_per_core : float;
+  vector_flops_per_core : float;
+  sram_bw_per_core : float;
+  topology : topology;
+  intercore_link : link;
+  hbm_controllers : int;
+  hbm_bandwidth : float;
+  hbm_latency : float;
+}
+
+type pod = { chips : int; chip : chip; interchip_bandwidth : float }
+
+let validate_chip c =
+  if c.cores <= 0 then Error "cores must be positive"
+  else if c.sram_per_core <= 0. then Error "sram_per_core must be positive"
+  else if c.net_buffer_per_core < 0. || c.net_buffer_per_core >= c.sram_per_core then
+    Error "net buffer must be within SRAM"
+  else if c.matmul_flops_per_core <= 0. || c.vector_flops_per_core <= 0. then
+    Error "compute rates must be positive"
+  else if c.intercore_link.bandwidth <= 0. || c.hbm_bandwidth <= 0. then
+    Error "bandwidths must be positive"
+  else if c.hbm_controllers <= 0 then Error "need at least one HBM controller"
+  else
+    match c.topology with
+    | All_to_all -> Ok ()
+    | Mesh2d { rows; cols } ->
+        if rows * cols = c.cores then Ok ()
+        else Error (Printf.sprintf "mesh %dx%d does not cover %d cores" rows cols c.cores)
+    | Clustered { clusters; cluster_size; l2_bandwidth } ->
+        if clusters * cluster_size <> c.cores then
+          Error
+            (Printf.sprintf "clusters %dx%d do not cover %d cores" clusters cluster_size
+               c.cores)
+        else if l2_bandwidth <= 0. then Error "l2 bandwidth must be positive"
+        else Ok ()
+
+let usable_sram_per_core c = c.sram_per_core -. c.net_buffer_per_core
+let chip_sram c = usable_sram_per_core c *. float_of_int c.cores
+let pod_sram p = chip_sram p.chip *. float_of_int p.chips
+let aggregate_intercore_bw c = c.intercore_link.bandwidth *. float_of_int c.cores
+let pod_hbm_bandwidth p = p.chip.hbm_bandwidth *. float_of_int p.chips
+let pod_matmul_flops p = p.chip.matmul_flops_per_core *. float_of_int (p.chip.cores * p.chips)
+let pod_vector_flops p = p.chip.vector_flops_per_core *. float_of_int (p.chip.cores * p.chips)
+
+let mesh_dims ~cores =
+  if cores <= 0 then invalid_arg "Arch.mesh_dims: nonpositive core count";
+  let rec search r = if cores mod r = 0 then (r, cores / r) else search (r - 1) in
+  let r = search (int_of_float (sqrt (float_of_int cores))) in
+  r
+
+let with_topology c topology =
+  let c = { c with topology } in
+  match validate_chip c with
+  | Ok () -> c
+  | Error m -> invalid_arg ("Arch.with_topology: " ^ m)
+
+let with_cores c ~cores ~hbm_bw_per_core =
+  let topology =
+    match c.topology with
+    | All_to_all -> All_to_all
+    | Mesh2d _ ->
+        let rows, cols = mesh_dims ~cores in
+        Mesh2d { rows; cols }
+    | Clustered { l2_bandwidth; _ } ->
+        let clusters, cluster_size = mesh_dims ~cores in
+        Clustered { clusters; cluster_size; l2_bandwidth }
+  in
+  { c with cores; topology; hbm_bandwidth = hbm_bw_per_core *. float_of_int cores }
+
+let pp_topology fmt = function
+  | All_to_all -> Format.pp_print_string fmt "all-to-all"
+  | Mesh2d { rows; cols } -> Format.fprintf fmt "mesh %dx%d" rows cols
+  | Clustered { clusters; cluster_size; l2_bandwidth } ->
+      Format.fprintf fmt "%d clusters x %d cores, L2 %a" clusters cluster_size
+        Units.pp_bandwidth l2_bandwidth
+
+let pp_chip fmt c =
+  Format.fprintf fmt "chip{%d cores, %a SRAM/core, %a, link %a, HBM %a}" c.cores
+    Units.pp_bytes c.sram_per_core pp_topology c.topology Units.pp_bandwidth
+    c.intercore_link.bandwidth Units.pp_bandwidth c.hbm_bandwidth
+
+let pp_pod fmt p =
+  Format.fprintf fmt "pod{%d x %a, inter-chip %a}" p.chips pp_chip p.chip Units.pp_bandwidth
+    p.interchip_bandwidth
+
+module Presets = struct
+  let ipu_mk2_core_count = 1472
+
+  (* Per-core rates from the paper: 1000 TFLOPS (matmul) and 31.2 TFLOPS
+     (vector) for a 5888-core pod; 128 bit/cycle local SRAM at 1.325 GHz;
+     5.5 GB/s inter-core links. *)
+  let matmul_flops_per_core = 1000e12 /. 5888.
+  let vector_flops_per_core = 31.2e12 /. 5888.
+  let sram_bw_per_core = 128. /. 8. *. 1.325e9
+
+  let ipu_mk2_full =
+    {
+      cores = ipu_mk2_core_count;
+      sram_per_core = Units.kib 624.;
+      net_buffer_per_core = Units.kib 8.;
+      freq_hz = 1.325e9;
+      matmul_flops_per_core;
+      vector_flops_per_core;
+      sram_bw_per_core;
+      topology = All_to_all;
+      intercore_link = { latency = Units.ns 150.; bandwidth = Units.gbps 5.5 };
+      hbm_controllers = 4;
+      hbm_bandwidth = Units.tbps 4.;
+      hbm_latency = Units.ns 120.;
+    }
+
+  let ipu_pod4_full =
+    { chips = 4; chip = ipu_mk2_full; interchip_bandwidth = Units.gbps 640. }
+
+  (* Fig 23 scales HBM as 2.7 GB/s per core: 16 TB/s over 5888 cores. *)
+  let hbm_bw_per_core = Units.tbps 16. /. 5888.
+
+  (* Default experiment scale.  Width-scaled models (factor 8) shrink
+     quadratically while core count only shrinks linearly, so keeping
+     624 KB/core would give the scaled pod ~8x the paper's SRAM : model
+     ratio and erase the on-chip memory contention every tradeoff depends
+     on.  96 KB/core (with a proportional 2 KB transfer buffer) restores
+     the paper's ratio: chip SRAM / resident model bytes ~~ 0.12, per-op
+     execution spaces reach 10-50% of a core's SRAM, and only a few
+     HBM-heavy operators co-reside — as at full scale. *)
+  let scaled_chip ?(cores = 64) ?(topology_kind = `All_to_all)
+      ?(sram_per_core = Units.kib 96.) () =
+    let base = with_cores ipu_mk2_full ~cores ~hbm_bw_per_core in
+    let base =
+      { base with sram_per_core; net_buffer_per_core = Units.kib 2. }
+    in
+    match topology_kind with
+    | `All_to_all -> base
+    | `Mesh ->
+        (* Mesh-based ICCA chips (Tenstorrent, SambaNova) use much wider
+           per-hop links than the IPU's per-pair exchange: 4x here makes
+           the mesh's aggregate HBM-delivery capacity comparable to its
+           HBM bandwidth, the regime the paper's mesh results imply
+           (similar latency to all-to-all, higher link utilization). *)
+        let rows, cols = mesh_dims ~cores in
+        let base =
+          {
+            base with
+            intercore_link =
+              {
+                base.intercore_link with
+                bandwidth = base.intercore_link.bandwidth *. 4.;
+              };
+          }
+        in
+        with_topology base (Mesh2d { rows; cols })
+
+  let gpu_like_chip ?(cores = 64) ?(clusters = 8) () =
+    let base = with_cores ipu_mk2_full ~cores ~hbm_bw_per_core in
+    let base = { base with sram_per_core = Units.kib 96.; net_buffer_per_core = Units.kib 2. } in
+    if cores mod clusters <> 0 then invalid_arg "Presets.gpu_like_chip: clusters must divide cores";
+    with_topology base
+      (Clustered
+         {
+           clusters;
+           cluster_size = cores / clusters;
+           (* Paper 7: on H100-class GPUs the aggregate inter-SM bandwidth
+              is close to the HBM bandwidth. *)
+           l2_bandwidth = base.hbm_bandwidth;
+         })
+
+  let scaled_pod ?(chips = 4) ?cores ?topology_kind () =
+    let chip = scaled_chip ?cores ?topology_kind () in
+    (* Keep the paper's inter-chip : intra-chip bandwidth ratio. *)
+    let ratio = Units.gbps 640. /. aggregate_intercore_bw ipu_mk2_full in
+    { chips; chip; interchip_bandwidth = ratio *. aggregate_intercore_bw chip }
+end

@@ -1,0 +1,121 @@
+(** Descriptions of inter-core connected AI (ICCA) chips with off-chip HBM
+    (paper §2.1, Figure 1).
+
+    A chip is a set of cores, each with a private scratchpad SRAM and a
+    compute pipeline, joined by an interconnect (all-to-all as in Graphcore
+    IPU, or a 2D mesh as in Tenstorrent/SambaNova) that also carries
+    HBM-controller→core preload traffic.  A pod is several chips bridged
+    by inter-chip links, run with model parallelism (paper §5).
+
+    All bandwidths are bytes/second, capacities bytes, latencies seconds,
+    compute rates FLOP/second.  Quantities are kept {e per-core} so that
+    scaled-down configurations preserve every contention ratio the paper's
+    tradeoffs depend on. *)
+
+(** Interconnect topology.  [All_to_all] gives every ordered core pair a
+    direct path at the link bandwidth (IPU exchange); [Mesh2d] arranges
+    cores in a [rows x cols] grid with per-hop links and dimension-order
+    routing; [Clustered] is the GPU-style fabric of paper §7 — cores
+    grouped into clusters with direct intra-cluster links, while
+    inter-cluster traffic and all HBM traffic cross a shared global
+    fabric ("L2") of total bandwidth [l2_bandwidth]. *)
+type topology =
+  | All_to_all
+  | Mesh2d of { rows : int; cols : int }
+  | Clustered of { clusters : int; cluster_size : int; l2_bandwidth : float }
+
+type link = { latency : float; bandwidth : float }
+
+type chip = {
+  cores : int;
+  sram_per_core : float;  (** scratchpad capacity per core. *)
+  net_buffer_per_core : float;  (** SRAM reserved for transfer staging (§5). *)
+  freq_hz : float;  (** core clock. *)
+  matmul_flops_per_core : float;  (** peak FLOP/s for matmul-class kernels. *)
+  vector_flops_per_core : float;  (** peak FLOP/s for everything else. *)
+  sram_bw_per_core : float;  (** local SRAM read bandwidth (128 b/cycle on IPU). *)
+  topology : topology;
+  intercore_link : link;  (** core→core link (per path or per mesh hop). *)
+  hbm_controllers : int;  (** controllers attached to the interconnect. *)
+  hbm_bandwidth : float;  (** aggregate off-chip bandwidth of this chip. *)
+  hbm_latency : float;  (** base HBM access latency. *)
+}
+
+type pod = {
+  chips : int;
+  chip : chip;
+  interchip_bandwidth : float;  (** total bandwidth cap across chips. *)
+}
+
+val validate_chip : chip -> (unit, string) result
+(** Structural checks: positive counts/rates, mesh dims consistent with the
+    core count, net buffer smaller than the SRAM. *)
+
+val usable_sram_per_core : chip -> float
+(** [sram_per_core - net_buffer_per_core]: what the compiler may allocate
+    between execution and preload spaces. *)
+
+val chip_sram : chip -> float
+(** Total allocatable SRAM of one chip. *)
+
+val pod_sram : pod -> float
+(** Total allocatable SRAM of the pod. *)
+
+val aggregate_intercore_bw : chip -> float
+(** Sum of per-core injection bandwidth — the paper's "8 TB/s all-to-all"
+    aggregate for the IPU. *)
+
+val pod_hbm_bandwidth : pod -> float
+(** Total off-chip bandwidth of the pod. *)
+
+val pod_matmul_flops : pod -> float
+(** Peak matmul FLOP/s of the pod. *)
+
+val pod_vector_flops : pod -> float
+(** Peak vector FLOP/s of the pod. *)
+
+val mesh_dims : cores:int -> int * int
+(** Near-square factorization [rows x cols = cores] used when converting a
+    chip to a mesh topology; rows <= cols. *)
+
+val with_topology : chip -> topology -> chip
+(** Replace the topology (checking core-count consistency). *)
+
+val with_cores : chip -> cores:int -> hbm_bw_per_core:float -> chip
+(** Resize a chip, keeping per-core rates and re-deriving mesh dimensions
+    and HBM bandwidth ([cores * hbm_bw_per_core], Fig 23's scaling rule). *)
+
+val pp_chip : Format.formatter -> chip -> unit
+val pp_pod : Format.formatter -> pod -> unit
+
+(** Named configurations used across tests, examples and benches. *)
+module Presets : sig
+  val ipu_mk2_full : chip
+  (** Full-scale Graphcore IPU MK2: 1472 cores x 624 KB, 5.5 GB/s
+      all-to-all links, 4 HBM3E controllers at 4 TB/s (emulator setup,
+      paper §6.1). *)
+
+  val ipu_pod4_full : pod
+  (** 4 x {!ipu_mk2_full}, 640 GB/s inter-chip, 16 TB/s total HBM. *)
+
+  val gpu_like_chip : ?cores:int -> ?clusters:int -> unit -> chip
+  (** §7's GPU-style configuration at experiment scale: clusters of cores
+      with direct intra-cluster links, and a shared L2 fabric whose total
+      bandwidth is set equal to the chip's HBM bandwidth — the regime the
+      paper predicts "will suffer from significant interconnect
+      contention". *)
+
+  val scaled_chip :
+    ?cores:int -> ?topology_kind:[ `All_to_all | `Mesh ] -> ?sram_per_core:float ->
+    unit -> chip
+  (** Default experiment scale (64 cores unless overridden): per-core
+      rates identical to the full chip, HBM at 2.7 GB/s/core, and
+      [sram_per_core] defaulting to 96 KB so the chip-SRAM : model-size
+      ratio of width-factor-8 scaled models matches the paper's
+      full-scale setup (624 KB/core would leave no memory contention to
+      arbitrate). *)
+
+  val scaled_pod : ?chips:int -> ?cores:int -> ?topology_kind:[ `All_to_all | `Mesh ] ->
+    unit -> pod
+  (** [chips] defaults to 4, mirroring IPU-POD4. *)
+end

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Elk Elk_arch Elk_cost Elk_model Elk_partition Float Graph List Option

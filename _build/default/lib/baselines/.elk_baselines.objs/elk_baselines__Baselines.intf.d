@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Elk Elk_arch Elk_model Elk_partition

@@ -1,0 +1,60 @@
+(** The designs compared in the paper's evaluation (§6.1).
+
+    - [Basic]: existing-compiler behaviour — maximize execution space and
+      preload only the next operator into whatever space is left.
+    - [Static]: T10 extended with HBM support — one fixed preload/execution
+      space split for the whole model (best split found by grid search),
+      operators preloaded in order into the static budget; preload-state
+      options all-largest or all-smallest, whichever is faster.
+    - [Elk_dyn]: Elk without preload reordering (§4.2 + §4.3 only).
+    - [Elk_full]: the complete Elk design (§4.2-§4.4).
+    - [Ideal]: the roofline — dedicated interconnects for preload and
+      execution, full-size memory for every operator, zero
+      data-distribution latency; latency = max(sum of best execution
+      times, HBM roofline time). *)
+
+type design = Basic | Static | Elk_dyn | Elk_full | Ideal
+
+val name : design -> string
+val all : design list
+(** In presentation order: Basic, Static, Elk-Dyn, Elk-Full, Ideal. *)
+
+type outcome = {
+  design : design;
+  latency : float;  (** end-to-end forward latency incl. all-reduce. *)
+  timeline : Elk.Timeline.result option;  (** [None] for [Ideal]. *)
+  hbm_util : float;
+  noc_util : float;
+  achieved_flops : float;
+}
+
+val plan :
+  ?elk_options:Elk.Compile.options ->
+  Elk_partition.Partition.ctx ->
+  pod:Elk_arch.Arch.pod ->
+  Elk_model.Graph.t ->
+  design ->
+  Elk.Schedule.t option
+(** Produce the per-chip schedule a design generates for a model ([None]
+    for [Ideal], which is a roofline rather than a schedule).  The graph
+    is sharded across the pod's chips internally. *)
+
+val run :
+  ?elk_options:Elk.Compile.options ->
+  Elk_partition.Partition.ctx ->
+  pod:Elk_arch.Arch.pod ->
+  Elk_model.Graph.t ->
+  design ->
+  outcome
+(** Plan and evaluate one design on one model.  All designs share the
+    partition-plan enumeration, cost model and timeline evaluator, so
+    differences are purely the scheduling policies. *)
+
+val basic_schedule : Elk_partition.Partition.ctx -> Elk_model.Graph.t -> Elk.Schedule.t
+(** The [Basic] planner, exposed for tests. *)
+
+val static_schedule :
+  Elk_partition.Partition.ctx -> Elk_model.Graph.t ->
+  preload_budget:float -> use_max_popt:bool -> Elk.Schedule.t option
+(** The [Static] planner at one (budget, variant) grid point; [None] if no
+    execution plan fits the remaining space. *)

@@ -1,0 +1,1 @@
+lib/core/alloc.ml: Arch Array Elk_arch Elk_model Elk_partition Elk_util Float Graph List Pareto

@@ -1,0 +1,1 @@
+lib/core/alloc.mli: Elk_model Elk_partition

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Buffer Elk_arch Elk_model Elk_partition Elk_tensor Filename List Opspec Printf Program Schedule String Sys

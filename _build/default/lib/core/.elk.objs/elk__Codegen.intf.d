@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Elk_model Elk_partition Schedule

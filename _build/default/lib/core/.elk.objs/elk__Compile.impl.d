@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Elk_arch Elk_model Elk_util Format Fusion List Opsplit Program Reorder Schedule Scheduler Sharding Timeline Unix

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Elk_arch Elk_model Elk_partition Format Program Schedule Timeline

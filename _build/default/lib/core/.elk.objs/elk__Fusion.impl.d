@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Elk_model Elk_tensor Float Graph List Opspec

@@ -1,0 +1,1 @@
+lib/core/opsplit.ml: Array Elk_model Elk_partition Elk_tensor Graph List Opspec Option Printf

@@ -1,0 +1,1 @@
+lib/core/opsplit.mli: Elk_model Elk_partition Elk_tensor

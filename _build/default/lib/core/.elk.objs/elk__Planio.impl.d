@@ -1,0 +1,1 @@
+lib/core/planio.ml: Array Buffer Elk_model Elk_partition List Printexc Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/planio.mli: Elk_partition Schedule

@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Alloc Array Elk_arch Elk_model Elk_partition Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/reorder.mli: Elk_model Elk_partition

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Elk_model Elk_partition Printf

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Alloc Array Elk_arch Elk_model Elk_partition Elk_tensor Elk_util Float Graph List Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Elk_model Elk_partition Schedule

@@ -1,0 +1,1 @@
+lib/core/sharding.ml: Array Elk_arch Elk_model Elk_tensor Graph List Opspec Printf

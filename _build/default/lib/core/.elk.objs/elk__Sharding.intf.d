@@ -1,0 +1,1 @@
+lib/core/sharding.mli: Elk_arch Elk_model Elk_tensor

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Arch Array Elk_arch Elk_model Elk_partition Elk_util Float Format List Schedule

@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Elk_partition Format Schedule

@@ -1,0 +1,127 @@
+open Elk_util
+open Elk_arch
+module P = Elk_partition.Partition
+
+type result = {
+  exec_plan : P.plan;
+  window : (int * P.preload_opt) list;
+  exec_time : float;
+  objective : float;
+  total_space : float;
+  contention : float;
+}
+
+(* One participant in the greedy descent: a frontier of (space, time)
+   choices, currently sitting at [idx] (starting at the largest-space /
+   fastest end) and able to step down to [idx - 1]. *)
+type participant = {
+  spaces : float array;  (** ascending. *)
+  times : float array;  (** descending. *)
+  mutable idx : int;
+}
+
+let of_points pts =
+  let spaces = Array.of_list (List.map (fun p -> p.Pareto.x) pts) in
+  let times = Array.of_list (List.map (fun p -> p.Pareto.y) pts) in
+  { spaces; times; idx = Array.length spaces - 1 }
+
+let current_space p = p.spaces.(p.idx)
+
+let step_delta p =
+  if p.idx = 0 then None
+  else
+    let freed = p.spaces.(p.idx) -. p.spaces.(p.idx - 1) in
+    let slower = Float.max 1e-12 (p.times.(p.idx - 1) -. p.times.(p.idx)) in
+    Some (freed /. slower)
+
+let allocate ctx ~capacity ~exec_op ~window =
+  let open Elk_model in
+  let exec_frontier = P.exec_frontier ctx exec_op.Graph.op in
+  if exec_frontier = [] then None
+  else begin
+    let exec_part = of_points exec_frontier in
+    let window_opts =
+      List.map
+        (fun ((node : Graph.node), plan) ->
+          let opts = P.preload_options ctx node.Graph.op plan in
+          let pts =
+            List.map
+              (fun o ->
+                { Pareto.x = o.P.preload_space; y = P.preload_overhead o; payload = o })
+              opts
+          in
+          (node.Graph.id, Array.of_list (List.map (fun p -> p.Pareto.payload) pts), of_points pts))
+        window
+    in
+    let participants = exec_part :: List.map (fun (_, _, p) -> p) window_opts in
+    let total () = List.fold_left (fun a p -> a +. current_space p) 0. participants in
+    let rec descend () =
+      if total () <= capacity then true
+      else begin
+        let best =
+          List.fold_left
+            (fun acc p ->
+              match step_delta p with
+              | None -> acc
+              | Some d -> (
+                  match acc with Some (bd, _) when bd >= d -> acc | _ -> Some (d, p)))
+            None participants
+        in
+        match best with
+        | None -> false
+        | Some (_, p) ->
+            p.idx <- p.idx - 1;
+            descend ()
+      end
+    in
+    if not (descend ()) then None
+    else begin
+      let exec_plan =
+        (List.nth exec_frontier exec_part.idx).Pareto.payload
+      in
+      let chosen_window =
+        List.map (fun (id, opts, part) -> (id, opts.(part.idx))) window_opts
+      in
+      let chip = P.ctx_chip ctx in
+      let link_bw = chip.Arch.intercore_link.Arch.bandwidth in
+      let cores = float_of_int chip.Arch.cores in
+      let inject_total =
+        List.fold_left (fun a (_, o) -> a +. o.P.noc_inject_bytes) 0. chosen_window
+      in
+      (* Interconnect contention is a per-core PORT phenomenon: during this
+         operator's execution each core's ports serve its own exchange
+         (already inside [exec_time] as serialized transfer time) plus its
+         share of the preload injection overlapping the execution.  The
+         injection rate is bounded by what the HBM can feed. *)
+      let inject_overlap_pc =
+        Float.min (inject_total /. cores)
+          (chip.Arch.hbm_bandwidth /. cores *. exec_plan.P.exec_time)
+      in
+      let exchange_pc = exec_plan.P.exchange_bytes_per_core in
+      let port_service = (inject_overlap_pc +. exchange_pc) /. link_bw in
+      let contention = Float.max 0. (port_service -. exec_plan.P.exec_time) in
+      let dist_total =
+        List.fold_left (fun a (_, o) -> a +. P.preload_overhead o) 0. chosen_window
+      in
+      Some
+        {
+          exec_plan;
+          window = chosen_window;
+          exec_time = exec_plan.P.exec_time +. contention;
+          objective = exec_plan.P.exec_time +. contention +. dist_total;
+          total_space = total ();
+          contention;
+        }
+    end
+  end
+
+let min_preload_space ctx (node : Elk_model.Graph.node) =
+  match P.exec_frontier ctx node.Elk_model.Graph.op with
+  | [] -> infinity
+  | frontier ->
+      (* The smallest preload footprint over all execute-state plans. *)
+      List.fold_left
+        (fun acc pt ->
+          let opts = P.preload_options ctx node.Elk_model.Graph.op pt.Pareto.payload in
+          List.fold_left (fun a o -> Float.min a o.P.preload_space) acc opts)
+        infinity frontier

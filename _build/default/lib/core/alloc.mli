@@ -1,0 +1,46 @@
+(** Cost-aware on-chip memory allocation (paper §4.3).
+
+    Given the currently executing operator and the set of operators whose
+    preloads overlap its execution, jointly pick:
+    - the executing operator's execute-state plan (memory vs time,
+      Tradeoff 1 of Fig 11), and
+    - each preloaded operator's preload-state option (preload space vs
+      data-distribution time, Tradeoffs 2-3),
+
+    so the combined per-core footprint fits the SRAM capacity.  The search
+    starts from every operator's fastest (largest) choice and greedily
+    steps the most cost-effective operator — the one whose next
+    Pareto point frees the most bytes per added second
+    ([delta = reduced_space / increased_time]) — down its frontier until
+    the combination fits. *)
+
+type result = {
+  exec_plan : Elk_partition.Partition.plan;  (** chosen execute-state plan. *)
+  window : (int * Elk_partition.Partition.preload_opt) list;
+      (** chosen preload option per window operator id, in input order. *)
+  exec_time : float;
+      (** execution time of the chosen plan including the estimated
+          interconnect-contention stretch from overlapped preloads. *)
+  objective : float;
+      (** total cost minimized: exec time + window distribution times +
+          contention penalty. *)
+  total_space : float;  (** per-core bytes of the chosen combination. *)
+  contention : float;  (** interconnect contention penalty included. *)
+}
+
+val allocate :
+  Elk_partition.Partition.ctx ->
+  capacity:float ->
+  exec_op:Elk_model.Graph.node ->
+  window:(Elk_model.Graph.node * Elk_partition.Partition.plan) list ->
+  result option
+(** [allocate ctx ~capacity ~exec_op ~window] returns [None] when even the
+    smallest plans/options overflow [capacity] (the caller then tries a
+    smaller preload number), or when the executing operator has no feasible
+    plan at all. *)
+
+val min_preload_space :
+  Elk_partition.Partition.ctx -> Elk_model.Graph.node -> float
+(** Smallest possible per-core preload space of an operator (its fastest
+    plan's minimal-fraction option) — used by capacity feasibility checks
+    in the preload-order search (§4.4). *)

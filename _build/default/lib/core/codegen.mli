@@ -1,0 +1,37 @@
+(** Code generation: lower a compiled plan to per-core kernel source
+    (paper §4.5 and §5, "code generation").
+
+    The paper's code generator emits vendor-library kernel calls for each
+    tile plus inter-core transfer operations, and the host program of
+    [preload_async]/[execute] calls.  Without a vendor toolchain we emit
+    the same structure as portable C-like source: one {e host program}
+    driving the §4.5 calls, and per-operator {e device kernels} containing
+    the data-distribution copy list, the tile loop nest and the
+    exchange/reduction step.  The output is deterministic and
+    self-describing — the test suite checks its structural properties, and
+    it documents exactly what the simulator executes. *)
+
+type t = {
+  host : string;  (** the host program: preload_async/execute sequence. *)
+  kernels : (int * string) list;  (** per-operator kernel source, by op id. *)
+}
+
+val kernel_of :
+  Elk_partition.Partition.ctx -> Elk_model.Graph.node ->
+  Elk_partition.Partition.plan -> Elk_partition.Partition.preload_opt -> string
+(** Source of one operator's kernel: [distribute_data] copy list (one
+    entry per sharing-group peer when the preload state is partial), the
+    [local_execute] loop nest over the tile's iteration dimensions (with
+    the round loop when the operator runs multiple rounds), and the
+    exchange/reduce epilogue. *)
+
+val generate : Elk_partition.Partition.ctx -> Schedule.t -> t
+(** Lower a complete schedule. *)
+
+val host_line_count : t -> int
+val total_loc : t -> int
+(** Size metrics used in reports (the paper quotes its codegen in LoC). *)
+
+val write_to : dir:string -> t -> unit
+(** Write [host.c] and [op<id>_<name>.c] files under [dir] (created if
+    missing). *)

@@ -1,0 +1,95 @@
+type options = {
+  reorder : bool;
+  max_orders : int;
+  max_edit_distance : int;
+  max_preload : int;
+  fuse : bool;
+}
+
+let default_options =
+  { reorder = true; max_orders = 24; max_edit_distance = 6; max_preload = 32; fuse = false }
+
+let dyn_options = { default_options with reorder = false }
+
+type t = {
+  pod : Elk_arch.Arch.pod;
+  graph : Elk_model.Graph.t;
+  chip_graph : Elk_model.Graph.t;
+  schedule : Schedule.t;
+  timeline : Timeline.result;
+  program : Program.t;
+  allreduce : float;
+  orders_tried : int;
+  compile_seconds : float;
+}
+
+let compile ?(options = default_options) ctx ~pod graph =
+  let t0 = Unix.gettimeofday () in
+  let graph = if options.fuse then Fusion.fuse graph else graph in
+  let chip_graph =
+    Opsplit.split_graph ctx (Sharding.shard_graph ~chips:pod.Elk_arch.Arch.chips graph)
+  in
+  let orders =
+    if options.reorder then
+      Reorder.candidate_orders ~max_orders:options.max_orders
+        ~max_edit_distance:options.max_edit_distance ctx chip_graph
+    else [ Array.init (Elk_model.Graph.length chip_graph) (fun i -> i) ]
+  in
+  let best = ref None and tried = ref 0 in
+  List.iter
+    (fun order ->
+      match
+        (try
+           let s = Scheduler.run ~order ~max_preload:options.max_preload ctx chip_graph in
+           Some (s, Timeline.evaluate ctx s)
+         with Scheduler.Infeasible _ -> None)
+      with
+      | None -> ()
+      | Some (s, tl) ->
+          incr tried;
+          (match !best with
+          | Some (_, btl) when btl.Timeline.total <= tl.Timeline.total -> ()
+          | _ -> best := Some (s, tl)))
+    orders;
+  match !best with
+  | None ->
+      (* Re-run in execution order to surface the underlying error. *)
+      let s = Scheduler.run ctx chip_graph in
+      let tl = Timeline.evaluate ctx s in
+      {
+        pod;
+        graph;
+        chip_graph;
+        schedule = s;
+        timeline = tl;
+        program = Program.of_schedule s;
+        allreduce = Sharding.allreduce_time pod chip_graph;
+        orders_tried = 1;
+        compile_seconds = Unix.gettimeofday () -. t0;
+      }
+  | Some (s, tl) ->
+      {
+        pod;
+        graph;
+        chip_graph;
+        schedule = s;
+        timeline = tl;
+        program = Program.of_schedule s;
+        allreduce = Sharding.allreduce_time pod chip_graph;
+        orders_tried = !tried;
+        compile_seconds = Unix.gettimeofday () -. t0;
+      }
+
+let latency t = t.timeline.Timeline.total +. t.allreduce
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>model: %s on %a@,latency: %a (on-chip %a + all-reduce %a)@,%a@,hbm util: %.1f%%  noc util: %.1f%%  tflops: %.2f@,orders tried: %d, compile time: %.2fs@]"
+    (Elk_model.Graph.name t.graph)
+    Elk_arch.Arch.pp_pod t.pod Elk_util.Units.pp_time (latency t) Elk_util.Units.pp_time
+    t.timeline.Timeline.total Elk_util.Units.pp_time t.allreduce Timeline.pp_breakdown
+    t.timeline.Timeline.bd
+    (100. *. t.timeline.Timeline.hbm_util)
+    (100. *. t.timeline.Timeline.noc_util)
+    (t.timeline.Timeline.achieved_flops /. 1e12)
+    t.orders_tried t.compile_seconds

@@ -1,0 +1,49 @@
+(** End-to-end compilation driver: the public entry point of Elk.
+
+    [compile] shards the model across the pod's chips, generates candidate
+    preload orders (§4.4), schedules each with the inductive scheduler
+    (§4.2) + cost-aware allocator (§4.3), evaluates candidates with the
+    analytic timeline, and returns the best plan together with its device
+    program (§4.5). *)
+
+type options = {
+  reorder : bool;  (** enable preload-order permutation (Elk-Full). *)
+  max_orders : int;  (** candidate preload orders to evaluate. *)
+  max_edit_distance : int;  (** Kendall-tau bound on per-layer reorders. *)
+  max_preload : int;  (** cap on per-operator preload numbers. *)
+  fuse : bool;  (** run the §8 pointwise-fusion pass before scheduling. *)
+}
+
+val default_options : options
+(** Elk-Full: reordering on, 24 orders, edit distance 6, fusion off (the
+    paper's Elk treats fusion as an optional compatibility pass, §8). *)
+
+val dyn_options : options
+(** Elk-Dyn: scheduling and allocation only, no reordering (§6.1). *)
+
+type t = {
+  pod : Elk_arch.Arch.pod;
+  graph : Elk_model.Graph.t;  (** original model graph. *)
+  chip_graph : Elk_model.Graph.t;  (** per-chip sharded graph. *)
+  schedule : Schedule.t;
+  timeline : Timeline.result;
+  program : Program.t;
+  allreduce : float;  (** inter-chip all-reduce time per forward pass. *)
+  orders_tried : int;
+  compile_seconds : float;  (** wall-clock compilation time. *)
+}
+
+val compile :
+  ?options:options ->
+  Elk_partition.Partition.ctx ->
+  pod:Elk_arch.Arch.pod ->
+  Elk_model.Graph.t ->
+  t
+(** Raises {!Scheduler.Infeasible} if the model cannot be scheduled even
+    in execution order (some operator exceeds per-core SRAM). *)
+
+val latency : t -> float
+(** End-to-end forward latency: on-chip makespan + inter-chip
+    all-reduces.  For a decode graph this is the per-token latency. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Elk_model
+open Elk_tensor
+
+let fusable_kinds = [ "silu"; "gelu"; "relu"; "scale"; "copy"; "add"; "mul" ]
+
+(* v may fold into u when v is a single-input pointwise op over exactly
+   u's output elements, u's only consumer is v, and v has no other
+   dependencies. *)
+let fusable consumers (u : Graph.node) (v : Graph.node) =
+  List.mem v.Graph.op.Opspec.kind fusable_kinds
+  && v.Graph.deps = [ u.Graph.id ]
+  && List.length v.Graph.op.Opspec.inputs = 1
+  && consumers.(u.Graph.id) = [ v.Graph.id ]
+  && Float.abs
+       (Opspec.points v.Graph.op -. Opspec.tensor_elems u.Graph.op u.Graph.op.Opspec.output)
+     < 0.5
+
+let fuse graph =
+  let n = Graph.length graph in
+  let consumers = Array.make n [] in
+  Array.iter
+    (fun (node : Graph.node) ->
+      List.iter (fun d -> consumers.(d) <- node.Graph.id :: consumers.(d)) node.Graph.deps)
+    (Graph.nodes graph);
+  (* fused_into.(v) = Some u when v folds into u. *)
+  let fused_into = Array.make n None in
+  Array.iter
+    (fun (v : Graph.node) ->
+      match v.Graph.deps with
+      | [ u ] ->
+          let u_node = Graph.get graph u in
+          if fusable consumers u_node v then fused_into.(v.Graph.id) <- Some u
+      | _ -> ())
+    (Graph.nodes graph);
+  if Array.for_all (fun x -> x = None) fused_into then graph
+  else begin
+    let b = Graph.builder ~name:(Graph.name graph) in
+    (* Map old ids to new ids; members of a chain map to the chain head's
+       fused node. *)
+    let remap = Array.make n (-1) in
+    Array.iter
+      (fun (head : Graph.node) ->
+        if fused_into.(head.Graph.id) = None then begin
+          (* Walk the chain of consumers folded into this head. *)
+          let op = ref head.Graph.op in
+          let members = ref [ head.Graph.id ] in
+          let cursor = ref head.Graph.id in
+          let continue = ref true in
+          while !continue do
+            match consumers.(!cursor) with
+            | [ v ] when fused_into.(v) = Some !cursor ->
+                let vop = (Graph.get graph v).Graph.op in
+                let ratio =
+                  Opspec.points vop /. Float.max 1. (Opspec.points !op)
+                in
+                op :=
+                  {
+                    !op with
+                    Opspec.name = !op.Opspec.name ^ "+" ^ vop.Opspec.kind;
+                    flops_per_point =
+                      !op.Opspec.flops_per_point
+                      +. (vop.Opspec.flops_per_point *. ratio);
+                  };
+                members := v :: !members;
+                cursor := v
+            | _ -> continue := false
+          done;
+          let deps = List.map (fun d -> remap.(d)) head.Graph.deps in
+          let id =
+            Graph.add b ?layer:head.Graph.layer ~deps ~role:head.Graph.role !op
+          in
+          List.iter (fun m -> remap.(m) <- id) !members
+        end)
+      (Graph.nodes graph);
+    Graph.finish b
+  end
+
+let fused_away ~before ~after = Graph.length before - Graph.length after

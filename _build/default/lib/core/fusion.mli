@@ -1,0 +1,29 @@
+(** Operator fusion (paper §8, "ML optimizations with operator fusion").
+
+    The paper argues ICCA chips rarely need fusion (the distributed SRAM
+    already buffers whole intermediate tensors) but that Elk "can still
+    support fusion by treating each fused operator as one operator".  This
+    pass implements exactly that: chains of pointwise operators are folded
+    into their producer — the fused operator keeps the producer's
+    iteration structure and HBM-resident inputs, accumulates the chain's
+    FLOPs per point, and presents one operator to the scheduler.  Fusing
+    shrinks the operator count (fewer BSP supersteps, fewer scheduling
+    decisions) without changing any tensor traffic Elk accounts for.
+
+    Fusable consumers are single-dependency pointwise operators
+    ([silu], [gelu], [relu], [scale], [copy], [add]/[mul] of arity 1)
+    whose element count matches the producer's output and on which no
+    other operator depends. *)
+
+val fusable_kinds : string list
+(** Pointwise kinds a fusion candidate may have. *)
+
+val fuse : Elk_model.Graph.t -> Elk_model.Graph.t
+(** Fold pointwise chains into producers.  Node roles/layers come from
+    the producer; fused names join with ["+"] (e.g. ["l0.ffn_gate+silu"]).
+    Dependencies are rewired so consumers of a fused-away operator depend
+    on the fused producer.  Returns the same graph physically when nothing
+    fuses. *)
+
+val fused_away : before:Elk_model.Graph.t -> after:Elk_model.Graph.t -> int
+(** Convenience: how many operators fusion removed. *)

@@ -1,0 +1,81 @@
+open Elk_tensor
+module P = Elk_partition.Partition
+
+let feasible ctx op = P.exec_frontier ctx op <> []
+
+let with_extent (op : Opspec.t) dim extent =
+  let iter = Array.copy op.Opspec.iter in
+  iter.(dim) <- extent;
+  { op with Opspec.iter }
+
+let split_op ctx (op : Opspec.t) =
+  if feasible ctx op then [ op ]
+  else begin
+    (* Candidate split dimensions, largest extent first. *)
+    let dims =
+      List.init (Array.length op.Opspec.iter) (fun i -> i)
+      |> List.sort (fun a b -> compare op.Opspec.iter.(b) op.Opspec.iter.(a))
+    in
+    let try_dim dim =
+      let extent = op.Opspec.iter.(dim) in
+      let rec grow parts =
+        if parts > 64 || parts > extent then None
+        else
+          let chunk = (extent + parts - 1) / parts in
+          if feasible ctx (with_extent op dim chunk) then Some (dim, parts, chunk)
+          else grow (parts * 2)
+      in
+      grow 2
+    in
+    let rec first = function
+      | [] ->
+          invalid_arg
+            (Printf.sprintf "Opsplit: operator %s does not fit even when split"
+               op.Opspec.name)
+      | d :: rest -> ( match try_dim d with Some r -> Some r | None -> first rest)
+    in
+    match first dims with
+    | None -> [ op ]
+    | Some (dim, parts, chunk) ->
+        let extent = op.Opspec.iter.(dim) in
+        List.init parts (fun i ->
+            let lo = i * chunk in
+            let len = min chunk (extent - lo) in
+            if len <= 0 then None
+            else
+              Some
+                {
+                  (with_extent op dim len) with
+                  Opspec.name = Printf.sprintf "%s.chunk%d" op.Opspec.name i;
+                })
+        |> List.filter_map (fun x -> x)
+  end
+
+let split_graph ctx graph =
+  let open Elk_model in
+  let needs_split =
+    Array.exists (fun (n : Graph.node) -> not (feasible ctx n.Graph.op)) (Graph.nodes graph)
+  in
+  if not needs_split then graph
+  else begin
+    let b = Graph.builder ~name:(Graph.name graph) in
+    (* Map from original node id to the id of its last chunk, for
+       dependency rewriting. *)
+    let last_chunk = Array.make (Graph.length graph) (-1) in
+    Array.iter
+      (fun (node : Graph.node) ->
+        let chunks = split_op ctx node.Graph.op in
+        let orig_deps = List.map (fun d -> last_chunk.(d)) node.Graph.deps in
+        (* Chunks run sequentially: the first carries the original
+           dependencies, later ones chain on their predecessor. *)
+        let prev = ref None in
+        List.iter
+          (fun op ->
+            let deps = match !prev with None -> orig_deps | Some p -> [ p ] in
+            let id = Graph.add b ?layer:node.Graph.layer ~deps ~role:node.Graph.role op in
+            prev := Some id)
+          chunks;
+        last_chunk.(node.Graph.id) <- Option.get !prev)
+      (Graph.nodes graph);
+    Graph.finish b
+  end

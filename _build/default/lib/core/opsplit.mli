@@ -1,0 +1,24 @@
+(** Operator splitting for operators too large for any partition plan.
+
+    An operator whose minimal per-core footprint exceeds the scratchpad
+    (e.g. a 256k-vocabulary LM head) cannot be scheduled as one unit;
+    standard compilers split such operators along an iteration dimension
+    into sequential chunks.  This pass rewrites the graph so that every
+    operator admits at least one partition plan, leaving already-feasible
+    operators untouched. *)
+
+val split_op :
+  Elk_partition.Partition.ctx -> Elk_tensor.Opspec.t -> Elk_tensor.Opspec.t list
+(** [split_op ctx op] returns [op] unchanged (singleton) when it has a
+    feasible plan, otherwise a list of chunk operators covering it —
+    split along the dimension that most reduces the footprint, doubling
+    the chunk count until feasible.  Raises
+    [Invalid_argument] if no split up to 64 chunks helps (the operator is
+    fundamentally too large for the chip). *)
+
+val split_graph :
+  Elk_partition.Partition.ctx -> Elk_model.Graph.t -> Elk_model.Graph.t
+(** Apply {!split_op} to every node, rebuilding the graph with chunk
+    operators inserted as consecutive nodes (chained on the original
+    dependencies; successors depend on the last chunk).  Returns the
+    original graph physically unchanged when nothing was split. *)

@@ -1,0 +1,23 @@
+(** Serialization of compiled schedules — the compiler's cacheable
+    artifact.
+
+    The paper's Elk compiles a model once (minutes of host time) and the
+    resulting plan drives every serving step; a deployment therefore wants
+    plans on disk.  This module serializes a {!Schedule.t} to a
+    self-contained text document: the operator graph (via
+    {!Elk_model.Gtext}) followed by the scheduling decisions — preload
+    order, per-window preload counts, and per-operator partition factors
+    and broadcast fraction.  Loading re-derives every computed quantity
+    (tile shapes, spaces, times) from the partition context, so a plan
+    file stays valid across cost-model retrains with the same chip, and
+    the loaded schedule revalidates before use. *)
+
+val export : Schedule.t -> string
+(** Serialize a schedule (including its graph). *)
+
+val import :
+  Elk_partition.Partition.ctx -> string -> (Schedule.t, string) result
+(** Parse, rebuild plans/options from the context, and validate. *)
+
+val save : path:string -> Schedule.t -> unit
+val load : Elk_partition.Partition.ctx -> path:string -> (Schedule.t, string) result

@@ -1,0 +1,68 @@
+type instr = Preload_async of int | Execute of int
+type t = { instrs : instr array }
+
+let of_schedule (s : Schedule.t) =
+  let n = Schedule.num_ops s in
+  let instrs = ref [] in
+  let k = ref 0 in
+  let emit_window w =
+    for _ = 1 to s.Schedule.windows.(w) do
+      instrs := Preload_async s.Schedule.order.(!k) :: !instrs;
+      incr k
+    done
+  in
+  (* Window 0 is the initial batch; window i+1 overlaps the execution of
+     op i, so its preload_asyncs are issued just before execute(i). *)
+  emit_window 0;
+  for i = 0 to n - 1 do
+    emit_window (i + 1);
+    instrs := Execute i :: !instrs
+  done;
+  { instrs = Array.of_list (List.rev !instrs) }
+
+let validate t ~n =
+  let preloaded = Array.make n (-1) and executed = Array.make n (-1) in
+  let step = ref 0 in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  let last_exec = ref (-1) in
+  Array.iter
+    (fun instr ->
+      incr step;
+      match instr with
+      | Preload_async op ->
+          if op < 0 || op >= n then fail (Printf.sprintf "preload of unknown op %d" op)
+          else if preloaded.(op) >= 0 then fail (Printf.sprintf "op %d preloaded twice" op)
+          else preloaded.(op) <- !step
+      | Execute op ->
+          if op < 0 || op >= n then fail (Printf.sprintf "execute of unknown op %d" op)
+          else if executed.(op) >= 0 then fail (Printf.sprintf "op %d executed twice" op)
+          else begin
+            executed.(op) <- !step;
+            if op <> !last_exec + 1 then
+              fail (Printf.sprintf "execute of op %d out of order" op);
+            last_exec := op;
+            if preloaded.(op) < 0 then
+              fail (Printf.sprintf "op %d executed before its preload was issued" op)
+          end)
+    t.instrs;
+  (match !err with
+  | None ->
+      for op = 0 to n - 1 do
+        if preloaded.(op) < 0 then fail (Printf.sprintf "op %d never preloaded" op);
+        if executed.(op) < 0 then fail (Printf.sprintf "op %d never executed" op)
+      done
+  | Some _ -> ());
+  match !err with None -> Ok () | Some m -> Error m
+
+let preload_order t =
+  Array.to_list t.instrs
+  |> List.filter_map (function Preload_async op -> Some op | Execute _ -> None)
+
+let pp fmt t =
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Preload_async op -> Format.fprintf fmt "preload_async(op=%d)@." op
+      | Execute op -> Format.fprintf fmt "execute(op=%d)@." op)
+    t.instrs

@@ -1,0 +1,33 @@
+(** The abstracted device programming model (paper §4.5, Fig 15).
+
+    A compiled plan maps to a linear program of two calls:
+    [preload_async(op)] — all cores request the operator's data from HBM
+    following its preload-state plan — and [execute(op)] — wait for the
+    operator's preload tag, run [distribute_data] (preload→execute state)
+    and [local_execute].  The hardware rules:
+
+    + an [execute] blocks all later calls until it finishes,
+    + [preload_async]s run sequentially in program order,
+    + [preload_async(i)] blocks only [execute(i)].
+
+    The program is what the event-driven simulator interprets. *)
+
+type instr = Preload_async of int | Execute of int
+
+type t = { instrs : instr array }
+
+val of_schedule : Schedule.t -> t
+(** Lay out the schedule's windows: the initial preload batch, then for
+    each operator its window's [preload_async]s followed by its
+    [execute]. *)
+
+val validate : t -> n:int -> (unit, string) result
+(** Check: every op in [0, n) is preloaded exactly once and executed
+    exactly once, executes appear in ascending op order, and each op's
+    [preload_async] precedes its [execute]. *)
+
+val preload_order : t -> int list
+(** Ids in [preload_async] program order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One instruction per line, as in Fig 15. *)

@@ -1,0 +1,220 @@
+open Elk_model
+module P = Elk_partition.Partition
+
+exception Infeasible of string
+
+(* Default preload option for an operator the allocator has not assigned
+   yet: the one minimizing total preload overhead (distribution time plus
+   interconnect-imposed preload lengthening). *)
+let min_overhead_opt ctx op plan =
+  match P.preload_options ctx op plan with
+  | [] -> invalid_arg "Scheduler: operator without preload options"
+  | first :: rest ->
+      List.fold_left
+        (fun acc o -> if P.preload_overhead o < P.preload_overhead acc then o else acc)
+        first rest
+
+(* Best (least-overhead) option whose preload space fits a budget; falls
+   back to the smallest option. *)
+let best_opt_within ctx op plan ~space =
+  let opts = P.preload_options ctx op plan in
+  let fitting = List.filter (fun o -> o.P.preload_space <= space) opts in
+  match fitting with
+  | [] -> List.hd opts
+  | first :: rest ->
+      List.fold_left
+        (fun acc o -> if P.preload_overhead o < P.preload_overhead acc then o else acc)
+        first rest
+
+(* The scheduler implements the backward induction of §4.2 with the
+   preload sequence generalized to an arbitrary order (§4.4).  For each
+   operator i (scheduled from the last to the first) it picks a preload
+   HORIZON h: the number of preload positions allowed to start before
+   exec(i) ends.  The paper's preload number for op i is [h_i - h_{i-1}].
+   The horizon must cover the preload positions of every operator
+   executing up to i+1 (they must have started loading by then); it may
+   exceed a later operator's horizon — forward execution monotonizes
+   (a preload allowed during an earlier execution stays started), so
+   effective horizons are the running maximum.  Theorem 4.2's bound
+   applies:
+
+     T_e_exe(i) = min (T_s_exe(i+1), T_s_pre(position h))
+
+   and the horizon maximizing T_s_exe(i) = T_e_exe(i) - span(i) wins,
+   where span(i) comes from the cost-aware allocator run over the
+   operators resident on chip at that horizon. *)
+let run ?order ?(max_preload = 32) ctx graph =
+  let n = Graph.length graph in
+  if n = 0 then raise (Infeasible "empty graph");
+  let order =
+    match order with Some o -> Array.copy o | None -> Array.init n (fun i -> i)
+  in
+  if Array.length order <> n then raise (Infeasible "preload order length mismatch");
+  let pos = Array.make n (-1) in
+  Array.iteri (fun k id -> if id >= 0 && id < n then pos.(id) <- k) order;
+  if Array.exists (fun p -> p < 0) pos then
+    raise (Infeasible "preload order is not a permutation");
+  let chip = P.ctx_chip ctx in
+  let capacity = Elk_arch.Arch.usable_sram_per_core chip in
+  let s_exe = Array.make n 0. in
+  let s_pre = Array.make n neg_infinity in
+  let horizon = Array.make n n in
+  let plans : P.plan option array = Array.make n None in
+  let popts : P.preload_opt option array = Array.make n None in
+  (* Running maximum of preload positions over execution prefixes:
+     [h_floor.(i)] = 1 + max position among ops 0..i. *)
+  let h_floor = Array.make n 0 in
+  Array.iteri
+    (fun id _ -> h_floor.(id) <- (if id = 0 then pos.(0) + 1 else max h_floor.(id - 1) (pos.(id) + 1)))
+    pos;
+  let s_pre_pos h = if h >= n then infinity else s_pre.(order.(h)) in
+  let node_of i = Graph.get graph i in
+  for i = n - 1 downto 0 do
+    let node = node_of i in
+    let h_low = if i = n - 1 then n else h_floor.(min (n - 1) (i + 1)) in
+    let h_high = if i = n - 1 then n else min n (h_low + max_preload) in
+    (* Residents at horizon h: operators at preload positions < h that
+       execute after i.  The base set (positions < h_low) is shared by all
+       candidate horizons. *)
+    let resident_upto h =
+      let acc = ref [] in
+      for k = h - 1 downto 0 do
+        let w = order.(k) in
+        if w > i then
+          acc :=
+            ( node_of w,
+              match plans.(w) with
+              | Some pl -> pl
+              | None -> raise (Infeasible "window op scheduled out of order") )
+            :: !acc
+      done;
+      !acc
+    in
+    let next_s_exe = if i = n - 1 then 0. else s_exe.(i + 1) in
+    let candidates = ref [] in
+    let h = ref h_low in
+    let stop = ref false in
+    while (not !stop) && !h <= h_high do
+      let window = resident_upto !h in
+      (match Alloc.allocate ctx ~capacity ~exec_op:node ~window with
+      | None -> stop := true
+      | Some alloc ->
+          (* Estimate op i's own distribution time from the option that
+             would fit in the spare capacity left by this combination. *)
+          let spare = Float.max 0. (capacity -. alloc.Alloc.total_space) in
+          let dist_est =
+            (best_opt_within ctx node.Graph.op alloc.Alloc.exec_plan ~space:spare)
+              .P.dist_time
+          in
+          let span = alloc.Alloc.exec_time +. dist_est in
+          let bound = Float.min next_s_exe (s_pre_pos !h) in
+          candidates := (bound -. span, span, !h, alloc, bound) :: !candidates);
+      incr h
+    done;
+    (* Keep the best start time; among near-ties take the largest horizon —
+       a larger horizon only relaxes the gates of earlier operators. *)
+    let best =
+      match !candidates with
+      | [] -> ref None
+      | cs ->
+          let best_start =
+            List.fold_left (fun a (s, _, _, _, _) -> Float.max a s) neg_infinity cs
+          in
+          let tol (span : float) = 0.02 *. Float.max 1e-9 span in
+          ref
+            (List.fold_left
+               (fun acc (s, span, h, alloc, bound) ->
+                 if s >= best_start -. tol span then
+                   match acc with
+                   | Some (_, bh, _, _) when bh >= h -> acc
+                   | _ -> Some (s, h, alloc, bound)
+                 else acc)
+               None cs)
+    in
+    (match !best with
+    | None ->
+        (* Even the minimal residency overflows the SRAM: fall back to the
+           smallest plans, tolerating the capacity violation (the timeline
+           and simulator will charge the contention). *)
+        let frontier = P.exec_frontier ctx node.Graph.op in
+        (match frontier with
+        | [] ->
+            raise
+              (Infeasible
+                 (Printf.sprintf "operator %s does not fit on the chip"
+                    node.Graph.op.Elk_tensor.Opspec.name))
+        | smallest :: _ ->
+            let plan = smallest.Elk_util.Pareto.payload in
+            let dist_est = P.preload_overhead (min_overhead_opt ctx node.Graph.op plan) in
+            let span = plan.P.exec_time +. dist_est in
+            let bound = Float.min next_s_exe (s_pre_pos h_low) in
+            plans.(i) <- Some plan;
+            horizon.(i) <- h_low;
+            s_exe.(i) <- bound -. span)
+    | Some (start, h_star, alloc, _) ->
+        plans.(i) <- Some alloc.Alloc.exec_plan;
+        horizon.(i) <- h_star;
+        s_exe.(i) <- start;
+        List.iter (fun (w, o) -> popts.(w) <- Some o) alloc.Alloc.window);
+    (* Schedule op i's own preload as late as possible: just before its
+       execution or before the next preload in order, whichever is
+       earlier. *)
+    let plan_i = match plans.(i) with Some pl -> pl | None -> assert false in
+    let popt_est =
+      match popts.(i) with Some o -> o | None -> min_overhead_opt ctx node.Graph.op plan_i
+    in
+    let len = Schedule.preload_time ctx node.Graph.op popt_est in
+    let e_pre = Float.min s_exe.(i) (s_pre_pos (pos.(i) + 1)) in
+    s_pre.(i) <- e_pre -. len
+  done;
+  (* Op 0 is never inside any window; give it the biggest option that fits
+     beside its own execution space. *)
+  (match popts.(0) with
+  | Some _ -> ()
+  | None ->
+      let plan0 = match plans.(0) with Some pl -> pl | None -> assert false in
+      popts.(0) <-
+        Some
+          (best_opt_within ctx (node_of 0).Graph.op plan0
+             ~space:(Float.max 0. (capacity -. plan0.P.exec_space))));
+  let entries =
+    Array.init n (fun id ->
+        let plan = match plans.(id) with Some pl -> pl | None -> assert false in
+        let popt =
+          match popts.(id) with
+          | Some o -> o
+          | None -> min_overhead_opt ctx (node_of id).Graph.op plan
+        in
+        {
+          Schedule.node_id = id;
+          plan;
+          popt;
+          preload_len = Schedule.preload_time ctx (node_of id).Graph.op popt;
+          dist_time = popt.P.dist_time;
+        })
+  in
+  (* Horizons need not be monotone across steps (a later operator may have
+     chosen a smaller one); forward execution monotonizes them — a preload
+     that was allowed to start during an earlier execution stays started. *)
+  let eff = Array.make n 0 in
+  Array.iteri
+    (fun i h -> eff.(i) <- (if i = 0 then h else max eff.(i - 1) h))
+    horizon;
+  eff.(n - 1) <- n;
+  let windows = Array.make (n + 1) 0 in
+  windows.(0) <- pos.(0) + 1;
+  if n > 1 then windows.(1) <- eff.(0) - windows.(0);
+  for i = 1 to n - 1 do
+    windows.(i + 1) <- eff.(i) - eff.(i - 1)
+  done;
+  let t_start =
+    Array.fold_left Float.min s_exe.(0) s_pre
+  in
+  let sched = { Schedule.graph; order; windows; entries; est_total = 0. -. t_start } in
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error msg -> raise (Infeasible ("internal: invalid schedule: " ^ msg)));
+  sched
+
+let preload_numbers (s : Schedule.t) =
+  Array.sub s.Schedule.windows 1 (Array.length s.Schedule.windows - 1)

@@ -1,0 +1,35 @@
+(** Two-level inductive operator scheduling (paper §4.2).
+
+    Operators execute in graph order; the scheduler decides, by backward
+    induction from the last operator, how many preloads overlap each
+    operator's execution (its {e preload number}), invoking the
+    cost-aware allocator (§4.3) for every candidate so that each preload
+    number is evaluated with its best memory split.  Times are anchored
+    at the end of the model ([T_end = 0]) and preloads are placed as late
+    as possible, exactly as in Lemma 4.1 / Theorem 4.2: for operator [i],
+
+    [T_e_exe(i) = min (T_s_exe(i+1), T_s_pre(first preload of the next
+    window))], and the preload number maximizing [T_s_exe(i)] wins.
+
+    The preload order may differ from the execution order (§4.4); it is
+    supplied as a permutation and the induction consumes its positions
+    from the back. *)
+
+exception Infeasible of string
+(** Raised when some operator cannot fit on the chip at all (no partition
+    plan within per-core SRAM), or when a supplied preload order leaves an
+    operator unpreloadable. *)
+
+val run :
+  ?order:int array ->
+  ?max_preload:int ->
+  Elk_partition.Partition.ctx ->
+  Elk_model.Graph.t ->
+  Schedule.t
+(** [run ctx graph] schedules every operator and returns a complete
+    {!Schedule.t} (validated).  [order] defaults to the execution order;
+    [max_preload] caps the enumerated preload numbers (default 64). *)
+
+val preload_numbers : Schedule.t -> int array
+(** Per-operator preload numbers ([windows] shifted to operator ids):
+    entry [i] is the number of preloads overlapping op [i]'s execution. *)

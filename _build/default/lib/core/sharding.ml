@@ -1,0 +1,57 @@
+open Elk_tensor
+
+let ceil_div a b = (a + b - 1) / b
+
+let replicated_roles = [ "attn_norm"; "ffn_norm"; "final_norm"; "attn_residual"; "ffn_residual" ]
+
+let shard_dim (op : Opspec.t) dim chips =
+  let iter = Array.copy op.Opspec.iter in
+  if iter.(dim) >= chips then iter.(dim) <- ceil_div iter.(dim) chips;
+  { op with Opspec.iter }
+
+let shard_op ~chips ~role (op : Opspec.t) =
+  if chips <= 1 then op
+  else if List.mem role replicated_roles then op
+  else
+    match op.Opspec.kind with
+    | "matmul" -> shard_dim op 1 chips
+    | "batch_matmul" -> shard_dim op 0 chips
+    | "softmax" -> shard_dim op 0 chips
+    | "rope" | "copy" -> shard_dim op 1 chips
+    | "embedding" -> shard_dim op 1 chips
+    | _ ->
+        (* Pointwise ops on sharded tensors (FFN activation, gating) follow
+           the column shard; ops tagged replicated were filtered above. *)
+        if Array.length op.Opspec.iter >= 2 then shard_dim op 1 chips else op
+
+let shard_graph ~chips graph =
+  let open Elk_model in
+  if chips <= 1 then graph
+  else begin
+    let b = Graph.builder ~name:(Graph.name graph ^ Printf.sprintf "@%dchips" chips) in
+    Array.iter
+      (fun (node : Graph.node) ->
+        let op = shard_op ~chips ~role:node.Graph.role node.Graph.op in
+        ignore
+          (Graph.add b ?layer:node.Graph.layer ~deps:node.Graph.deps ~role:node.Graph.role op))
+      (Graph.nodes graph);
+    Graph.finish b
+  end
+
+let allreduce_roles = [ "o_proj"; "ffn_down"; "lm_head" ]
+
+let allreduce_volume graph =
+  let open Elk_model in
+  Array.fold_left
+    (fun acc (node : Graph.node) ->
+      if List.mem node.Graph.role allreduce_roles then
+        acc +. Opspec.output_bytes node.Graph.op
+      else acc)
+    0. (Graph.nodes graph)
+
+let allreduce_time (pod : Elk_arch.Arch.pod) graph =
+  if pod.Elk_arch.Arch.chips <= 1 then 0.
+  else
+    let v = allreduce_volume graph in
+    let c = float_of_int pod.Elk_arch.Arch.chips in
+    2. *. (c -. 1.) /. c *. v *. c /. pod.Elk_arch.Arch.interchip_bandwidth

@@ -1,0 +1,27 @@
+(** Model parallelism across the chips of a pod (paper §5: "we use model
+    parallelism across the four chips, since it incurs little inter-chip
+    communication overhead").
+
+    Each operator is sharded Megatron-style along its weight/head
+    dimension, producing the per-chip operator graph that Elk actually
+    schedules; the small activation all-reduces at attention and FFN
+    boundaries are charged against the inter-chip bandwidth. *)
+
+val shard_op : chips:int -> role:string -> Elk_tensor.Opspec.t -> Elk_tensor.Opspec.t
+(** Shard one operator: matmuls along the output-feature dimension,
+    batched matmuls along the (batch x head) dimension, softmax rows, rope
+    and KV-append columns; norms and residual adds are replicated (their
+    operand is the full hidden vector on every chip).  [chips = 1] is the
+    identity. *)
+
+val shard_graph : chips:int -> Elk_model.Graph.t -> Elk_model.Graph.t
+(** Apply {!shard_op} to every node, preserving structure and metadata. *)
+
+val allreduce_volume : Elk_model.Graph.t -> float
+(** Total bytes all-reduced across chips per forward pass: the outputs of
+    every [o_proj] / [ffn_down] / [fc2] / [lm_head]-role node of the
+    {e unsharded} graph. *)
+
+val allreduce_time : Elk_arch.Arch.pod -> Elk_model.Graph.t -> float
+(** Ring-all-reduce time for {!allreduce_volume} over the pod's inter-chip
+    bandwidth: [2 (c-1) V / B].  Zero for a single-chip pod. *)

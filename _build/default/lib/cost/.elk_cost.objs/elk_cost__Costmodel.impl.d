@@ -1,0 +1,1 @@
+lib/cost/costmodel.ml: Arch Array Device Elk_arch Elk_hbm Elk_noc Elk_tensor Elk_util Float Hashtbl Linear_tree List Opspec Xrng

@@ -1,0 +1,1 @@
+lib/cost/costmodel.mli: Elk_arch Elk_tensor Elk_util

@@ -1,0 +1,1 @@
+lib/cost/device.ml: Arch Array Elk_arch Elk_noc Float Hashtbl

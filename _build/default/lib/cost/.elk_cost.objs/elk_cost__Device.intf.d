@@ -1,0 +1,1 @@
+lib/cost/device.mli: Elk_arch Elk_noc

@@ -1,0 +1,1 @@
+lib/cost/linear_tree.ml: Array Elk_util List Stats

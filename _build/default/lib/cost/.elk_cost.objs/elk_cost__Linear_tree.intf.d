@@ -1,0 +1,1 @@
+lib/cost/linear_tree.mli:

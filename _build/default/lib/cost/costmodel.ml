@@ -1,0 +1,167 @@
+open Elk_util
+open Elk_arch
+
+let default_kinds =
+  [
+    "matmul"; "batch_matmul"; "softmax"; "rmsnorm"; "layernorm"; "rope"; "silu"; "gelu";
+    "relu"; "copy"; "scale"; "add"; "mul"; "embedding";
+  ]
+
+type t = {
+  cm_chip : Arch.chip;
+  exec_trees : (string * Linear_tree.t) list;
+  transfer_tree : Linear_tree.t;
+  hbm_dev : Elk_hbm.Hbm.t;
+  mutable hbm_bw_cache : (int * float) list;
+}
+
+let chip t = t.cm_chip
+let kinds t = List.map fst t.exec_trees
+
+let features ~kind ~iter =
+  let d i = if i < Array.length iter then float_of_int iter.(i) else 1. in
+  (* Vector-unit alignment of the inner matmul dimensions is a discrete
+     effect a threshold tree cannot discover from raw extents; expose it as
+     indicator features, as a profiling pipeline would. *)
+  let aligned i =
+    let idx = min i (Array.length iter - 1) in
+    if iter.(idx) mod 16 = 0 then 1. else 0.
+  in
+  [|
+    d 0; d 1; d 2; d 3;
+    Array.fold_left (fun a x -> a *. float_of_int x) 1. iter;
+    Device.tile_flops ~kind ~iter;
+    Device.tile_bytes ~kind ~iter;
+    aligned 1;
+    aligned (Array.length iter - 1);
+  |]
+
+(* Log-uniform integer in [lo, hi]. *)
+let log_uniform rng lo hi =
+  let l = log (float_of_int lo) and h = log (float_of_int hi) in
+  let v = exp (l +. Xrng.float rng (h -. l)) in
+  max lo (min hi (int_of_float (Float.round v)))
+
+let random_tile rng ~chip ~kind =
+  let sram = Arch.usable_sram_per_core chip in
+  let fits iter = Device.tile_bytes ~kind ~iter <= sram in
+  let rec draw tries =
+    let iter =
+      match kind with
+      | "matmul" ->
+          [| log_uniform rng 1 512; log_uniform rng 8 512; log_uniform rng 8 512 |]
+      | "batch_matmul" ->
+          [|
+            log_uniform rng 1 64; log_uniform rng 1 128; log_uniform rng 4 256;
+            log_uniform rng 4 256;
+          |]
+      | _ -> [| log_uniform rng 1 4096; log_uniform rng 8 4096 |]
+    in
+    if fits iter || tries > 50 then iter else draw (tries + 1)
+  in
+  draw 0
+
+let train ?(seed = 42) ?(samples_per_kind = 600) ?(kinds = default_kinds) chip =
+  let rng = Xrng.create seed in
+  let exec_trees =
+    List.map
+      (fun kind ->
+        let krng = Xrng.split rng in
+        let samples =
+          List.init samples_per_kind (fun _ ->
+              let iter = random_tile krng ~chip ~kind in
+              (features ~kind ~iter, Device.measured_exec_time chip ~kind ~iter))
+        in
+        (kind, Linear_tree.fit samples))
+      kinds
+  in
+  let noc = Elk_noc.Noc.create chip in
+  let trng = Xrng.split rng in
+  let max_hops =
+    match chip.Arch.topology with
+    | Arch.All_to_all -> 2
+    | Arch.Clustered _ -> 3
+    | Arch.Mesh2d { rows; cols } -> rows + cols
+  in
+  let transfer_samples =
+    List.init (max 200 samples_per_kind) (fun _ ->
+        let bytes = float_of_int (log_uniform trng 64 (1 lsl 20)) in
+        let hops = 1 + Xrng.int trng max_hops in
+        let time =
+          (* Synthesize the measured time for a route of this length from
+             the per-link model plus noise. *)
+          let base =
+            (float_of_int hops *. chip.Arch.intercore_link.Arch.latency)
+            +. (bytes /. chip.Arch.intercore_link.Arch.bandwidth)
+          in
+          let u = float_of_int (Hashtbl.hash (hops, int_of_float bytes) land 0xFFFF) /. 65535. in
+          base *. (0.94 +. (0.12 *. u))
+        in
+        ([| bytes; float_of_int hops |], time))
+  in
+  ignore noc;
+  {
+    cm_chip = chip;
+    exec_trees;
+    transfer_tree = Linear_tree.fit transfer_samples;
+    hbm_dev = Elk_hbm.Hbm.create (Elk_hbm.Hbm.config_for_bandwidth chip.Arch.hbm_bandwidth);
+    hbm_bw_cache = [];
+  }
+
+let predict_exec t ~kind ~iter =
+  match List.assoc_opt kind t.exec_trees with
+  | Some tree -> Float.max 1e-9 (Linear_tree.predict tree (features ~kind ~iter))
+  | None -> Device.exec_time t.cm_chip ~kind ~iter
+
+let predict_transfer t ~hops ~bytes =
+  if bytes <= 0. then 0.
+  else
+    Float.max 1e-9 (Linear_tree.predict t.transfer_tree [| bytes; float_of_int (max 1 hops) |])
+
+let hbm_time t ~bytes =
+  if bytes <= 0. then 0.
+  else
+    let bucket = int_of_float (Float.round (log (Float.max 1. bytes) /. log 2.)) in
+    let bw =
+      match List.assoc_opt bucket t.hbm_bw_cache with
+      | Some bw -> bw
+      | None ->
+          let bw = Elk_hbm.Hbm.effective_bandwidth t.hbm_dev ~bytes:(2. ** float_of_int bucket) in
+          t.hbm_bw_cache <- (bucket, bw) :: t.hbm_bw_cache;
+          bw
+    in
+    bytes /. bw
+
+let exec_accuracy ?(seed = 7) t ~kind ~n =
+  let rng = Xrng.create seed in
+  List.init n (fun _ ->
+      let iter = random_tile rng ~chip:t.cm_chip ~kind in
+      ( Device.measured_exec_time t.cm_chip ~kind ~iter,
+        predict_exec t ~kind ~iter ))
+
+let transfer_accuracy ?(seed = 7) t ~n =
+  let rng = Xrng.create seed in
+  let noc = Elk_noc.Noc.create t.cm_chip in
+  let ncores = t.cm_chip.Arch.cores in
+  List.init n (fun _ ->
+      let bytes = float_of_int (log_uniform rng 64 (1 lsl 20)) in
+      let src = Xrng.int rng ncores in
+      let dst = (src + 1 + Xrng.int rng (ncores - 1)) mod ncores in
+      let measured =
+        Device.measured_transfer_time noc ~src:(Elk_noc.Noc.Core src)
+          ~dst:(Elk_noc.Noc.Core dst) ~bytes
+      in
+      let hops = Elk_noc.Noc.hops noc ~src:(Elk_noc.Noc.Core src) ~dst:(Elk_noc.Noc.Core dst) in
+      (measured, predict_transfer t ~hops ~bytes))
+
+let ideal_exec_time chip op ~cores =
+  let open Elk_tensor in
+  let flops = Opspec.flops op in
+  let peak =
+    if Device.is_matmul_kind op.Opspec.kind then chip.Arch.matmul_flops_per_core
+    else chip.Arch.vector_flops_per_core
+  in
+  let n = float_of_int cores in
+  let compute = flops /. (peak *. n) in
+  let memory = Opspec.footprint_bytes op /. (chip.Arch.sram_bw_per_core *. n) in
+  Float.max compute memory

@@ -1,0 +1,53 @@
+(** Elk's trained cost model (paper §4.3).
+
+    For each operator kind, random tiles are "profiled" on the synthetic
+    device ({!Device.measured_exec_time}) and a {!Linear_tree} is fit on
+    tile-shape features; inter-core transfers get a model over (bytes,
+    hops).  The compiler then only ever consults the trained predictors —
+    prediction error (Fig 12) flows into every scheduling decision, as it
+    would with a real profiled device.  HBM preload times come from a
+    roofline over the {!Elk_hbm.Hbm} channel model. *)
+
+type t
+
+val train :
+  ?seed:int -> ?samples_per_kind:int -> ?kinds:string list -> Elk_arch.Arch.chip -> t
+(** Profile-and-fit for one chip.  [samples_per_kind] defaults to 600;
+    [kinds] defaults to every kind the model zoo emits. *)
+
+val chip : t -> Elk_arch.Arch.chip
+val kinds : t -> string list
+
+val features : kind:string -> iter:int array -> float array
+(** Feature vector used by the per-kind trees: up to 4 leading tile
+    extents, total points, FLOPs and SRAM bytes. *)
+
+val predict_exec : t -> kind:string -> iter:int array -> float
+(** Predicted per-core execution time of one tile.  Falls back to the
+    analytic device model for kinds without a trained tree; never
+    negative. *)
+
+val predict_transfer : t -> hops:int -> bytes:float -> float
+(** Predicted uncontended transfer time for a route of [hops] links. *)
+
+val hbm_time : t -> bytes:float -> float
+(** Roofline preload time for [bytes] read sequentially at tensor
+    granularity from this chip's HBM (effective bandwidth from the channel
+    model, which derates small reads). *)
+
+val exec_accuracy :
+  ?seed:int -> t -> kind:string -> n:int -> (float * float) list
+(** [(measured, predicted)] pairs on [n] fresh random tile shapes of a
+    kind — the data behind Fig 12. *)
+
+val transfer_accuracy : ?seed:int -> t -> n:int -> (float * float) list
+(** Same for inter-core transfers. *)
+
+val ideal_exec_time : Elk_arch.Arch.chip -> Elk_tensor.Opspec.t -> cores:int -> float
+(** Lower-bound on-chip execution time of a whole operator split perfectly
+    over [cores] cores with zero communication — the per-operator term of
+    the [Ideal] roofline baseline (§6.1). *)
+
+val random_tile : Elk_util.Xrng.t -> chip:Elk_arch.Arch.chip -> kind:string -> int array
+(** A random tile shape of the given kind that fits in one core's SRAM —
+    the shape distribution used for training and accuracy evaluation. *)

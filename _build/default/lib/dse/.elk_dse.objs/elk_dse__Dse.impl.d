@@ -1,0 +1,1 @@
+lib/dse/dse.ml: Arch Array Elk Elk_arch Elk_baselines Elk_cost Elk_model Elk_partition Elk_sim Elk_util List Option

@@ -1,0 +1,1 @@
+lib/dse/dse.mli: Elk Elk_arch Elk_baselines Elk_model Elk_partition Elk_sim

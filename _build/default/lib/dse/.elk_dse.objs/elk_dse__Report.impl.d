@@ -1,0 +1,1 @@
+lib/dse/report.ml: Array Buffer Dse Elk Elk_arch Elk_model Elk_partition Elk_sim Elk_tensor Elk_util Float Format Hashtbl List Printf

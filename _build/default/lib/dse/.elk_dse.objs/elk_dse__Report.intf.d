@@ -1,0 +1,1 @@
+lib/dse/report.mli: Dse Elk Elk_sim

@@ -1,0 +1,98 @@
+module P = Elk_partition.Partition
+
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let us x = Printf.sprintf "%.1f us" (x *. 1e6)
+
+let markdown (env : Dse.env) (c : Elk.Compile.t) (r : Elk_sim.Sim.result) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let graph = c.Elk.Compile.chip_graph in
+  let s = c.Elk.Compile.schedule in
+  let n = Elk.Schedule.num_ops s in
+  pf "# Elk compilation report: %s\n\n" (Elk_model.Graph.name c.Elk.Compile.graph);
+  pf "- target: %s\n" (Format.asprintf "%a" Elk_arch.Arch.pp_pod env.Dse.pod);
+  pf "- operators (per chip): %d; HBM volume: %s; FLOPs: %.3g G\n"
+    (Elk_model.Graph.length graph)
+    (Format.asprintf "%a" Elk_util.Units.pp_bytes (Elk_model.Graph.total_hbm_bytes graph))
+    (Elk_model.Graph.total_flops graph /. 1e9);
+  pf "- compile: %.2f s over %d preload order(s)\n" c.Elk.Compile.compile_seconds
+    c.Elk.Compile.orders_tried;
+  pf "- simulated per-token latency: %s (+ %s inter-chip all-reduce)\n\n"
+    (us r.Elk_sim.Sim.total) (us c.Elk.Compile.allreduce);
+  (* Breakdown. *)
+  let bd = r.Elk_sim.Sim.bd in
+  let total = Float.max 1e-12 r.Elk_sim.Sim.total in
+  pf "## Time breakdown (simulated)\n\n";
+  pf "| bucket | time | share |\n|---|---|---|\n";
+  List.iter
+    (fun (label, v) -> pf "| %s | %s | %s |\n" label (us v) (pct (v /. total)))
+    [
+      ("preload only", bd.Elk.Timeline.preload_only);
+      ("execute only", bd.Elk.Timeline.execute_only);
+      ("overlapped", bd.Elk.Timeline.overlapped);
+      ("interconnect stalls", bd.Elk.Timeline.interconnect);
+    ];
+  pf "\nHBM utilization %s; interconnect utilization %s (inter-core %s + preload %s).\n\n"
+    (pct r.Elk_sim.Sim.hbm_util) (pct r.Elk_sim.Sim.noc_util)
+    (pct (fst r.Elk_sim.Sim.noc_util_split))
+    (pct (snd r.Elk_sim.Sim.noc_util_split));
+  (* Preload numbers (§4.2). *)
+  let pn = Elk.Scheduler.preload_numbers s in
+  let hist = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      let k = if w >= 4 then 4 else w in
+      Hashtbl.replace hist k (1 + try Hashtbl.find hist k with Not_found -> 0))
+    pn;
+  pf "## Preload numbers (operators per window)\n\n";
+  pf "| preloads in window | count |\n|---|---|\n";
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt hist k with
+      | Some c -> pf "| %s | %d |\n" (if k = 4 then "4+" else string_of_int k) c
+      | None -> ())
+    [ 0; 1; 2; 3; 4 ];
+  (* Broadcast fractions (§4.3). *)
+  let full, partial, none = (ref 0, ref 0, ref 0) in
+  Array.iter
+    (fun (e : Elk.Schedule.op_entry) ->
+      if e.Elk.Schedule.popt.P.hbm_device_bytes <= 0. then incr none
+      else if e.Elk.Schedule.popt.P.frac >= 0.999 then incr full
+      else incr partial)
+    s.Elk.Schedule.entries;
+  pf "\n## Preload states (§4.3)\n\n";
+  pf "%d ops fully broadcast, %d partially broadcast (+distribution phase), %d load nothing.\n\n"
+    !full !partial !none;
+  (* Per-layer aggregation. *)
+  pf "## Per-layer simulated time\n\n| layer | ops | exec time |\n|---|---|---|\n";
+  let layers = Elk_model.Graph.layer_ids graph in
+  List.iter
+    (fun l ->
+      let nodes = Elk_model.Graph.nodes_of_layer graph l in
+      let time =
+        List.fold_left
+          (fun a (node : Elk_model.Graph.node) ->
+            let o = r.Elk_sim.Sim.per_op.(node.Elk_model.Graph.id) in
+            a +. (o.Elk_sim.Sim.exe_end -. o.Elk_sim.Sim.exe_start))
+          0. nodes
+      in
+      pf "| %d | %d | %s |\n" l (List.length nodes) (us time))
+    layers;
+  (* Slowest operators. *)
+  pf "\n## Slowest operators (simulated span)\n\n| op | kind | span | preload |\n|---|---|---|---|\n";
+  let spans =
+    List.init n (fun i ->
+        let o = r.Elk_sim.Sim.per_op.(i) in
+        (i, o.Elk_sim.Sim.exe_end -. o.Elk_sim.Sim.exe_start, o.Elk_sim.Sim.pre_end -. o.Elk_sim.Sim.pre_start))
+  in
+  let sorted = List.sort (fun (_, a, _) (_, b, _) -> compare b a) spans in
+  List.iteri
+    (fun rank (i, span, pre) ->
+      if rank < 8 then
+        let op = (Elk_model.Graph.get graph i).Elk_model.Graph.op in
+        pf "| %s | %s | %s | %s |\n" op.Elk_tensor.Opspec.name op.Elk_tensor.Opspec.kind
+          (us span) (us pre))
+    sorted;
+  Buffer.contents b
+
+let print env c r = print_string (markdown env c r)

@@ -1,0 +1,14 @@
+(** Human-readable compilation reports.
+
+    Renders a compiled plan and its simulated execution as a Markdown
+    document: headline metrics, the Fig 18-style time breakdown, the
+    preload-number distribution the scheduler chose (§4.2), the
+    broadcast-fraction mix of the preload states (§4.3), per-layer time
+    aggregation and the slowest operators — the diagnostics a compiler
+    engineer reads before trusting a plan. *)
+
+val markdown : Dse.env -> Elk.Compile.t -> Elk_sim.Sim.result -> string
+(** Render a report for a compile result and its simulation. *)
+
+val print : Dse.env -> Elk.Compile.t -> Elk_sim.Sim.result -> unit
+(** [markdown] to stdout. *)

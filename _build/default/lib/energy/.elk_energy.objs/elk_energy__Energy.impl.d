@@ -1,0 +1,1 @@
+lib/energy/energy.ml: Array Elk_arch Elk_cost Elk_model Elk_partition Elk_sim Elk_tensor Format Opspec

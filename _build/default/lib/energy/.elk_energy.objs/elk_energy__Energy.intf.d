@@ -1,0 +1,1 @@
+lib/energy/energy.mli: Elk_model Elk_partition Elk_sim Format

@@ -1,0 +1,96 @@
+open Elk_tensor
+module P = Elk_partition.Partition
+
+type params = {
+  pj_per_matmul_flop : float;
+  pj_per_vector_flop : float;
+  pj_per_sram_byte : float;
+  pj_per_link_byte_hop : float;
+  pj_per_hbm_byte : float;
+  static_watts_per_core : float;
+}
+
+(* Order-of-magnitude constants for a 7nm-class accelerator:
+   - fp16 MAC ~0.5 pJ/FLOP on a systolic path, ~3x that on a vector unit;
+   - local scratchpad ~0.08 pJ/byte (~10 fJ/bit);
+   - on-chip link traversal ~1.5 pJ/byte per hop (long wires + routing);
+   - HBM access ~40 pJ/byte (~5 pJ/bit incl. PHY and DRAM core);
+   - ~0.3 W/core static (IPU-class tiles with clock + leakage). *)
+let default_params =
+  {
+    pj_per_matmul_flop = 0.5;
+    pj_per_vector_flop = 1.5;
+    pj_per_sram_byte = 0.08;
+    pj_per_link_byte_hop = 1.5;
+    pj_per_hbm_byte = 40.;
+    static_watts_per_core = 0.3;
+  }
+
+type report = {
+  compute_j : float;
+  sram_j : float;
+  noc_j : float;
+  hbm_j : float;
+  static_j : float;
+  total_j : float;
+  energy_per_token : float;
+  edp : float;
+}
+
+let pj x = x *. 1e-12
+
+let evaluate ?(params = default_params) ctx graph (r : Elk_sim.Sim.result) =
+  let chip = P.ctx_chip ctx in
+  let compute_j =
+    Array.fold_left
+      (fun acc (node : Elk_model.Graph.node) ->
+        let op = node.Elk_model.Graph.op in
+        let rate =
+          if Elk_cost.Device.is_matmul_kind op.Opspec.kind then params.pj_per_matmul_flop
+          else params.pj_per_vector_flop
+        in
+        acc +. pj (Opspec.flops op *. rate))
+      0. (Elk_model.Graph.nodes graph)
+  in
+  let sram_j =
+    (* Every operand byte is read and every output byte written at least
+       once from the local scratchpad; exchanged bytes are read again at
+       the receiver. *)
+    Array.fold_left
+      (fun acc (node : Elk_model.Graph.node) ->
+        acc +. pj (Opspec.footprint_bytes node.Elk_model.Graph.op *. params.pj_per_sram_byte))
+      0. (Elk_model.Graph.nodes graph)
+    +. pj (r.Elk_sim.Sim.intercore_volume *. params.pj_per_sram_byte)
+  in
+  let hops =
+    match chip.Elk_arch.Arch.topology with
+    | Elk_arch.Arch.All_to_all -> 1.
+    | Elk_arch.Arch.Clustered _ -> 2.
+    | Elk_arch.Arch.Mesh2d { rows; cols } -> float_of_int (rows + cols) /. 3.
+  in
+  let noc_j =
+    pj
+      ((r.Elk_sim.Sim.intercore_volume +. r.Elk_sim.Sim.inject_volume)
+      *. hops *. params.pj_per_link_byte_hop)
+  in
+  let hbm_j = pj (r.Elk_sim.Sim.hbm_device_volume *. params.pj_per_hbm_byte) in
+  let static_j =
+    params.static_watts_per_core *. float_of_int chip.Elk_arch.Arch.cores
+    *. r.Elk_sim.Sim.total
+  in
+  let total_j = compute_j +. sram_j +. noc_j +. hbm_j +. static_j in
+  {
+    compute_j;
+    sram_j;
+    noc_j;
+    hbm_j;
+    static_j;
+    total_j;
+    energy_per_token = total_j;
+    edp = total_j *. r.Elk_sim.Sim.total;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "total %.3g J (compute %.3g, sram %.3g, noc %.3g, hbm %.3g, static %.3g); EDP %.3g J.s"
+    r.total_j r.compute_j r.sram_j r.noc_j r.hbm_j r.static_j r.edp

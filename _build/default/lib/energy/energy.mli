@@ -1,0 +1,45 @@
+(** Energy accounting for executed schedules (paper §7, "Apply Elk to
+    other optimization objectives").
+
+    The paper notes Elk can optimize other objectives "by replacing the
+    performance-based cost model with others (e.g. ... a cost model that
+    estimates power usage)".  This module provides that cost model: an
+    activity-based energy estimate over a simulated schedule — dynamic
+    energy per FLOP, per SRAM byte, per interconnect byte-hop and per HBM
+    byte, plus leakage/static power integrated over the makespan — so
+    designs can be compared on energy per token and energy-delay product
+    as well as latency. *)
+
+type params = {
+  pj_per_matmul_flop : float;
+  pj_per_vector_flop : float;
+  pj_per_sram_byte : float;
+  pj_per_link_byte_hop : float;  (** inter-core traffic, per traversed link. *)
+  pj_per_hbm_byte : float;  (** off-chip access incl. PHY. *)
+  static_watts_per_core : float;
+}
+
+val default_params : params
+(** Order-of-magnitude 7nm-class technology constants (documented in the
+    implementation); replace to model other nodes. *)
+
+type report = {
+  compute_j : float;
+  sram_j : float;
+  noc_j : float;
+  hbm_j : float;
+  static_j : float;
+  total_j : float;
+  energy_per_token : float;  (** = [total_j] for a decode graph. *)
+  edp : float;  (** energy-delay product, J*s. *)
+}
+
+val evaluate :
+  ?params:params -> Elk_partition.Partition.ctx -> Elk_model.Graph.t ->
+  Elk_sim.Sim.result -> report
+(** Account a simulated run of one chip.  FLOPs come from the graph; SRAM
+    traffic from operator footprints; interconnect traffic hop-weighted
+    from the simulator; HBM traffic from device bytes; static energy from
+    the makespan. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/hbm/hbm.ml: Array Float List

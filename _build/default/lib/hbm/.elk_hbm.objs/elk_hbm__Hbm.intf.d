@@ -1,0 +1,1 @@
+lib/hbm/hbm.mli:

@@ -1,0 +1,135 @@
+type config = {
+  channels : int;
+  banks_per_channel : int;
+  channel_bandwidth : float;
+  interleave_bytes : float;
+  row_bytes : float;
+  t_rcd : float;
+  t_cl : float;
+  t_rp : float;
+  t_ras : float;
+  base_latency : float;
+}
+
+let hbm3e_module =
+  {
+    channels = 16;
+    banks_per_channel = 16;
+    channel_bandwidth = 1e12 /. 16.;
+    interleave_bytes = 256.;
+    row_bytes = 1024.;
+    t_rcd = 14e-9;
+    t_cl = 14e-9;
+    t_rp = 14e-9;
+    t_ras = 33e-9;
+    base_latency = 60e-9;
+  }
+
+let peak_bandwidth c = float_of_int c.channels *. c.channel_bandwidth
+
+let config_for_bandwidth bw =
+  if bw <= 0. then invalid_arg "Hbm.config_for_bandwidth: nonpositive bandwidth";
+  let per_channel = hbm3e_module.channel_bandwidth in
+  let channels = max 1 (int_of_float (Float.round (bw /. per_channel))) in
+  { hbm3e_module with channels; channel_bandwidth = bw /. float_of_int channels }
+
+type channel = {
+  mutable ready_at : float;  (** when the channel data bus frees up. *)
+  open_rows : float array;  (** open row id per bank; -1 = closed. *)
+  mutable next_bank : int;  (** round-robin activation pointer. *)
+}
+
+type t = {
+  cfg : config;
+  chans : channel array;
+  mutable total_bytes : float;
+  mutable busy_time : float;
+  mutable requests : int;
+}
+
+let create cfg =
+  if cfg.channels <= 0 || cfg.banks_per_channel <= 0 then
+    invalid_arg "Hbm.create: nonpositive channel/bank count";
+  {
+    cfg;
+    chans =
+      Array.init cfg.channels (fun _ ->
+          { ready_at = 0.; open_rows = Array.make cfg.banks_per_channel (-1.); next_bank = 0 });
+    total_bytes = 0.;
+    busy_time = 0.;
+    requests = 0;
+  }
+
+let config t = t.cfg
+
+let reset t =
+  Array.iter
+    (fun ch ->
+      ch.ready_at <- 0.;
+      ch.next_bank <- 0;
+      Array.fill ch.open_rows 0 (Array.length ch.open_rows) (-1.))
+    t.chans;
+  t.total_bytes <- 0.;
+  t.busy_time <- 0.;
+  t.requests <- 0
+
+(* Serve [share] sequential bytes starting at [row0] on one channel.
+   Streaming across [banks] banks overlaps activations with data transfer,
+   so the channel is bus-bound unless rows cycle faster than tRC allows. *)
+let channel_time cfg ~share ~rows_touched ~row_hit_first =
+  let burst = share /. cfg.channel_bandwidth in
+  let t_rc = cfg.t_ras +. cfg.t_rp in
+  let activation_floor =
+    rows_touched *. t_rc /. float_of_int cfg.banks_per_channel
+  in
+  let first_access =
+    if row_hit_first then cfg.t_cl else cfg.t_rp +. cfg.t_rcd +. cfg.t_cl
+  in
+  first_access +. Float.max burst activation_floor
+
+let read t ~now ~offset ~bytes =
+  if offset < 0. then invalid_arg "Hbm.read: negative offset";
+  if bytes <= 0. then invalid_arg "Hbm.read: nonpositive size";
+  let cfg = t.cfg in
+  let n = cfg.channels in
+  (* The request is striped over channels at [interleave_bytes]; each
+     channel receives a nearly equal share for any request spanning more
+     than [n] interleave units. *)
+  let units = Float.max 1. (Float.round (bytes /. cfg.interleave_bytes)) in
+  let used_channels = min n (int_of_float units) in
+  let share = bytes /. float_of_int used_channels in
+  let first_unit = int_of_float (offset /. cfg.interleave_bytes) in
+  let completion = ref now in
+  for i = 0 to used_channels - 1 do
+    let ch = t.chans.((first_unit + i) mod n) in
+    let start = Float.max now ch.ready_at in
+    let rows_per_chan = share /. float_of_int n in
+    let row0 = Float.of_int (int_of_float ((offset /. cfg.row_bytes) +. float_of_int i)) in
+    let rows_touched = Float.max 1. (Float.round (rows_per_chan /. cfg.row_bytes)) in
+    let bank = ch.next_bank in
+    let row_hit_first = ch.open_rows.(bank) = row0 in
+    let dt = channel_time cfg ~share ~rows_touched ~row_hit_first in
+    ch.ready_at <- start +. dt;
+    ch.open_rows.(bank) <- row0 +. rows_touched -. 1.;
+    ch.next_bank <- (bank + 1) mod cfg.banks_per_channel;
+    t.busy_time <- t.busy_time +. dt;
+    completion := Float.max !completion ch.ready_at
+  done;
+  t.total_bytes <- t.total_bytes +. bytes;
+  t.requests <- t.requests + 1;
+  !completion +. cfg.base_latency
+
+let replay t trace =
+  let now = ref 0. in
+  List.iter (fun (offset, bytes) -> now := read t ~now:!now ~offset ~bytes) trace;
+  !now
+
+let effective_bandwidth t ~bytes =
+  let fresh = create t.cfg in
+  let dt = read fresh ~now:0. ~offset:0. ~bytes in
+  if dt <= 0. then peak_bandwidth t.cfg else bytes /. dt
+
+type stats = { total_bytes : float; busy_time : float; requests : int }
+
+let stats (t : t) =
+  { total_bytes = t.total_bytes; busy_time = t.busy_time; requests = t.requests }

@@ -1,0 +1,69 @@
+(** Channel/bank-state HBM timing model.
+
+    The paper obtains HBM access latencies from DRAMsim3 by replaying
+    tensor-granularity traces (§5, emulation framework).  This module is
+    the substitute substrate: a per-channel, per-bank timing model with
+    row-buffer state, address interleaving and burst bandwidth, detailed
+    enough to reproduce the behaviours Elk depends on —
+
+    - large sequential tensor reads saturate close to peak bandwidth
+      (tensors are striped over all channels; row activations overlap
+      across banks while streaming);
+    - small or scattered reads pay activation + CAS latency and fall far
+      short of peak;
+    - concurrent requests queue per channel, so bandwidth is shared.
+
+    Addresses and sizes are floats (bytes) like everywhere else in the
+    code base; they are snapped to burst granularity internally. *)
+
+type config = {
+  channels : int;
+  banks_per_channel : int;
+  channel_bandwidth : float;  (** sustained B/s per channel. *)
+  interleave_bytes : float;  (** channel-striping granularity. *)
+  row_bytes : float;  (** row-buffer (page) size per bank. *)
+  t_rcd : float;  (** activate-to-read delay. *)
+  t_cl : float;  (** CAS latency. *)
+  t_rp : float;  (** precharge delay. *)
+  t_ras : float;  (** minimum row-open time. *)
+  base_latency : float;  (** fixed controller + PHY traversal latency. *)
+}
+
+val hbm3e_module : config
+(** One HBM3E stack: 16 pseudo-channels, 1 TB/s aggregate — four of these
+    match the paper's 4 TB/s per chip (§6.1). *)
+
+val config_for_bandwidth : float -> config
+(** [config_for_bandwidth bw] scales the channel count of {!hbm3e_module}
+    (and fractional channel bandwidth) so the aggregate peak equals [bw]. *)
+
+val peak_bandwidth : config -> float
+(** [channels * channel_bandwidth]. *)
+
+type t
+(** Mutable device state: per-channel ready times and per-bank open rows. *)
+
+val create : config -> t
+val config : t -> config
+
+val read : t -> now:float -> offset:float -> bytes:float -> float
+(** [read t ~now ~offset ~bytes] issues one read request and returns its
+    completion time (absolute, >= now).  State advances: subsequent reads
+    queue behind this one on the channels it used.  Raises
+    [Invalid_argument] on negative offset or nonpositive size. *)
+
+val replay : t -> (float * float) list -> float
+(** [replay t trace] issues [(offset, bytes)] requests back to back
+    starting at time 0 (each issued when the previous completes — the
+    sequential tensor-granularity pattern of the paper) and returns the
+    total time. *)
+
+val effective_bandwidth : t -> bytes:float -> float
+(** Bandwidth achieved by one fresh sequential read of [bytes] from offset
+    0 on a reset copy of the device — used to calibrate roofline preload
+    estimates without mutating [t]. *)
+
+type stats = { total_bytes : float; busy_time : float; requests : int }
+
+val stats : t -> stats
+val reset : t -> unit

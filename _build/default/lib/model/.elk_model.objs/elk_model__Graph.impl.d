@@ -1,0 +1,1 @@
+lib/model/graph.ml: Array Elk_tensor Elk_util Format List Printf

@@ -1,0 +1,1 @@
+lib/model/graph.mli: Elk_tensor Format

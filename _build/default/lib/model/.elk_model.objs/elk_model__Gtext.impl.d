@@ -1,0 +1,1 @@
+lib/model/gtext.ml: Array Buffer Dtype Elk_tensor Graph List Opspec Option Printf String

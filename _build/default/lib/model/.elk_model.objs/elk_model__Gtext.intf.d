@@ -1,0 +1,1 @@
+lib/model/gtext.mli: Graph

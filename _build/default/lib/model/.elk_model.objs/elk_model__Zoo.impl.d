@@ -1,0 +1,1 @@
+lib/model/zoo.ml: Array Dtype Elk_tensor Graph List Opspec Printf

@@ -1,0 +1,1 @@
+lib/model/zoo.mli: Elk_tensor Graph

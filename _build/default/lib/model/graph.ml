@@ -1,0 +1,95 @@
+type node = {
+  id : int;
+  op : Elk_tensor.Opspec.t;
+  layer : int option;
+  role : string;
+  deps : int list;
+}
+
+type t = { g_name : string; g_nodes : node array }
+
+let name t = t.g_name
+let nodes t = t.g_nodes
+
+type builder = { b_name : string; mutable rev_nodes : node list; mutable count : int }
+
+let builder ~name = { b_name = name; rev_nodes = []; count = 0 }
+
+let add b ?layer ?deps ~role op =
+  (match Elk_tensor.Opspec.validate op with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Graph.add: invalid op: " ^ msg));
+  let id = b.count in
+  let deps =
+    match deps with
+    | Some ds -> ds
+    | None -> if id = 0 then [] else [ id - 1 ]
+  in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= id then
+        invalid_arg (Printf.sprintf "Graph.add: node %d depends on invalid id %d" id d))
+    deps;
+  b.rev_nodes <- { id; op; layer; role; deps } :: b.rev_nodes;
+  b.count <- id + 1;
+  id
+
+let finish b = { g_name = b.b_name; g_nodes = Array.of_list (List.rev b.rev_nodes) }
+
+let length t = Array.length t.g_nodes
+let get t i = t.g_nodes.(i)
+let ops t = Array.to_list t.g_nodes |> List.map (fun n -> n.op)
+
+let total_flops t =
+  Array.fold_left (fun a n -> a +. Elk_tensor.Opspec.flops n.op) 0. t.g_nodes
+
+let total_hbm_bytes t =
+  Array.fold_left (fun a n -> a +. Elk_tensor.Opspec.hbm_bytes n.op) 0. t.g_nodes
+
+let mean_hbm_bytes t =
+  match length t with 0 -> 0. | n -> total_hbm_bytes t /. float_of_int n
+
+let hbm_heavy_ids t =
+  let threshold = mean_hbm_bytes t in
+  Array.to_list t.g_nodes
+  |> List.filter_map (fun n ->
+         if Elk_tensor.Opspec.is_hbm_heavy n.op ~threshold then Some n.id else None)
+
+let layer_ids t =
+  Array.to_list t.g_nodes
+  |> List.filter_map (fun n -> n.layer)
+  |> List.sort_uniq compare
+
+let nodes_of_layer t l =
+  Array.to_list t.g_nodes |> List.filter (fun n -> n.layer = Some l)
+
+let is_valid_order t order =
+  let n = length t in
+  let pos = Array.make n (-1) in
+  let ok_perm =
+    List.length order = n
+    && List.for_all
+         (fun id ->
+           id >= 0 && id < n
+           &&
+           if pos.(id) >= 0 then false
+           else begin
+             pos.(id) <- 0;
+             true
+           end)
+         order
+  in
+  if not ok_perm then false
+  else begin
+    List.iteri (fun i id -> pos.(id) <- i) order;
+    Array.for_all
+      (fun node -> List.for_all (fun d -> pos.(d) < pos.(node.id)) node.deps)
+      t.g_nodes
+  end
+
+let pp_summary fmt t =
+  Format.fprintf fmt "model %s: %d ops, %.3g GFLOPs, %a HBM, %d layers" t.g_name
+    (length t)
+    (total_flops t /. 1e9)
+    Elk_util.Units.pp_bytes (total_hbm_bytes t)
+    (List.length (layer_ids t))

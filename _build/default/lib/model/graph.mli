@@ -1,0 +1,68 @@
+(** Operator graphs: the DAG the Elk frontend extracts from an ONNX model
+    (paper §5, frontend step).
+
+    We substitute the PyTorch→ONNX path with declarative model builders
+    ({!module:Zoo}), but keep the same downstream contract: a directed
+    acyclic graph of {!Elk_tensor.Opspec.t} nodes with data-dependency
+    edges, a stable topological linearization (the execution order all of
+    Elk's scheduling operates on), and per-node metadata — the transformer
+    layer a node belongs to (for the identical-layer pruning rule of §4.4)
+    and a role tag. *)
+
+type node = {
+  id : int;  (** dense index, equal to the node's position. *)
+  op : Elk_tensor.Opspec.t;
+  layer : int option;  (** transformer-layer index; [None] for pre/post ops. *)
+  role : string;  (** position-independent tag, e.g. ["ffn_up"]. *)
+  deps : int list;  (** ids of producing nodes, all [< id]. *)
+}
+
+type t
+(** An immutable operator graph. *)
+
+val name : t -> string
+val nodes : t -> node array
+
+(** {1 Construction} *)
+
+type builder
+(** Append-only builder that assigns dense ids. *)
+
+val builder : name:string -> builder
+
+val add :
+  builder -> ?layer:int -> ?deps:int list -> role:string -> Elk_tensor.Opspec.t -> int
+(** Append a node and return its id.  [deps] defaults to the previously
+    added node (sequential chaining), or [] for the first node.  Raises
+    [Invalid_argument] on a forward/ self dependency or an invalid opspec. *)
+
+val finish : builder -> t
+(** Freeze the builder.  The node order is the execution order. *)
+
+(** {1 Queries} *)
+
+val length : t -> int
+val get : t -> int -> node
+val ops : t -> Elk_tensor.Opspec.t list
+val total_flops : t -> float
+val total_hbm_bytes : t -> float
+
+val mean_hbm_bytes : t -> float
+(** Average HBM volume per operator — the paper's threshold for deciding
+    which operators are "HBM-heavy" (§4.4: "tensor sizes above average"). *)
+
+val hbm_heavy_ids : t -> int list
+(** Ids of operators whose HBM volume is >= {!mean_hbm_bytes}. *)
+
+val layer_ids : t -> int list
+(** Distinct layer indices present, ascending. *)
+
+val nodes_of_layer : t -> int -> node list
+(** Nodes tagged with a given layer, in execution order. *)
+
+val is_valid_order : t -> int list -> bool
+(** [is_valid_order t order] checks [order] is a permutation of all ids
+    that respects every dependency edge. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Multi-line summary: op count, FLOPs, HBM volume, layers. *)

@@ -1,0 +1,39 @@
+(** Textual operator-graph format: the import/export path standing in for
+    the paper's ONNX frontend (§5).
+
+    The paper's Elk ingests any model expressible as an ONNX graph; this
+    module provides the equivalent boundary for this implementation — a
+    line-oriented, human-writable description of an operator graph that
+    round-trips losslessly through {!export}/{!import}, so models can be
+    produced by external tools, checked into test fixtures, or edited by
+    hand.
+
+    Format (one declaration per line, [#] comments, blank lines ignored):
+
+    {v
+    graph llama-mini
+    op matmul    name=l0.q_proj  role=q_proj layer=0 deps=2   m=32 n=640 k=640
+    op softmax   name=l0.softmax role=attn_softmax layer=0 deps=4 rows=160 cols=256
+    op norm      name=l0.norm    role=attn_norm layer=0 deps=0 rows=32 cols=640 kind=rmsnorm
+    op bmm       name=l0.score   role=attn_score layer=0 deps=3,5 batch=40 m=1 n=256 k=128 rhs=kv
+    op eltwise   name=l0.add     role=attn_residual deps=1,6 kind=add shape=32x640 arity=2 fpp=1
+    op rope      name=l0.rope    role=rope_q layer=0 deps=1 rows=32 cols=640
+    op embedding name=emb        role=embedding rows=32 vocab=32000 hidden=640
+    v}
+
+    Operator ids are implicit (declaration order); [deps] lists refer to
+    earlier declarations and default to the previous operator. *)
+
+val export : Graph.t -> string
+(** Serialize a graph.  Raises [Invalid_argument] on operators whose kind
+    is not expressible in the format (none of the zoo's are). *)
+
+val import : string -> (Graph.t, string) result
+(** Parse a graph.  Errors carry the line number and the reason. *)
+
+val import_file : string -> (Graph.t, string) result
+(** {!import} on a file's contents. *)
+
+val roundtrip_equal : Graph.t -> Graph.t -> bool
+(** Structural equality used by the round-trip tests: same name, node
+    count, and per-node (op, role, layer, deps). *)

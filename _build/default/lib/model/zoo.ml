@@ -1,0 +1,507 @@
+open Elk_tensor
+
+type family = Llama | Gemma | Opt | Dit | Moe of { experts : int; topk : int }
+
+type config = {
+  cfg_name : string;
+  family : family;
+  hidden : int;
+  layers : int;
+  heads : int;
+  kv_heads : int;
+  ffn : int;
+  vocab : int;
+  dit_tokens : int;
+}
+
+type phase = Decode of { batch : int; ctx : int } | Prefill of { batch : int; seq : int }
+
+let head_dim cfg =
+  if cfg.hidden mod cfg.heads <> 0 then
+    invalid_arg (cfg.cfg_name ^ ": hidden not divisible by heads");
+  cfg.hidden / cfg.heads
+
+let validate cfg =
+  if cfg.hidden <= 0 || cfg.layers <= 0 || cfg.heads <= 0 || cfg.kv_heads <= 0
+     || cfg.ffn <= 0 || cfg.vocab <= 0
+  then Error (cfg.cfg_name ^ ": nonpositive dimension")
+  else if cfg.hidden mod cfg.heads <> 0 then
+    Error (cfg.cfg_name ^ ": hidden % heads <> 0")
+  else if cfg.heads mod cfg.kv_heads <> 0 then
+    Error (cfg.cfg_name ^ ": heads % kv_heads <> 0")
+  else Ok ()
+
+(* --- Attention + FFN builders shared by the LLM families ------------- *)
+
+(* [tokens] is the number of token rows flowing through the layer
+   (batch for decode, batch*seq for prefill); [kv_len] the attention span;
+   [kv_resident] whether K/V come from the HBM-resident cache. *)
+type attn_shape = {
+  tokens : int;
+  kv_len : int;
+  batch : int;
+  kv_resident : bool;
+}
+
+let add_attention b cfg ~layer ~shape ~use_rope ~norm_kind ~after:input_id =
+  let d = head_dim cfg in
+  let nh = cfg.heads and nkv = cfg.kv_heads in
+  let g = cfg.heads / cfg.kv_heads in
+  let t = shape.tokens in
+  let add = Graph.add b ~layer in
+  let norm1 =
+    add ~deps:[ input_id ] ~role:"attn_norm"
+      (Opspec.norm ~kind:norm_kind ~name:(Printf.sprintf "l%d.attn_norm" layer) ~rows:t
+         ~cols:cfg.hidden ())
+  in
+  let q_proj =
+    add ~deps:[ norm1 ] ~role:"q_proj"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.q_proj" layer) ~m:t ~n:(nh * d)
+         ~k:cfg.hidden ())
+  in
+  let k_proj =
+    add ~deps:[ norm1 ] ~role:"k_proj"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.k_proj" layer) ~m:t ~n:(nkv * d)
+         ~k:cfg.hidden ())
+  in
+  let v_proj =
+    add ~deps:[ norm1 ] ~role:"v_proj"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.v_proj" layer) ~m:t ~n:(nkv * d)
+         ~k:cfg.hidden ())
+  in
+  let q_ready, k_ready =
+    if use_rope then
+      ( add ~deps:[ q_proj ] ~role:"rope_q"
+          (Opspec.rope ~name:(Printf.sprintf "l%d.rope_q" layer) ~rows:t ~cols:(nh * d) ()),
+        add ~deps:[ k_proj ] ~role:"rope_k"
+          (Opspec.rope ~name:(Printf.sprintf "l%d.rope_k" layer) ~rows:t ~cols:(nkv * d) ())
+      )
+    else (q_proj, k_proj)
+  in
+  (* Decode appends this step's K/V to the cache; prefill materializes them
+     on chip, so the append degenerates to an on-chip copy either way. *)
+  let kv_k =
+    add ~deps:[ k_ready ] ~role:"kv_append_k"
+      (Opspec.elementwise ~flops_per_point:1.
+         ~name:(Printf.sprintf "l%d.kv_append_k" layer)
+         ~kind:"copy" ~shape:[ t; nkv * d ] ())
+  in
+  let kv_v =
+    add ~deps:[ v_proj ] ~role:"kv_append_v"
+      (Opspec.elementwise ~flops_per_point:1.
+         ~name:(Printf.sprintf "l%d.kv_append_v" layer)
+         ~kind:"copy" ~shape:[ t; nkv * d ] ())
+  in
+  let rhs_source = if shape.kv_resident then Opspec.Kv_cache else Opspec.Activation in
+  let rows_per_kv_group = g * t / shape.batch in
+  let score =
+    add ~deps:[ q_ready; kv_k ] ~role:"attn_score"
+      (Opspec.batch_matmul ~rhs_source
+         ~name:(Printf.sprintf "l%d.attn_score" layer)
+         ~batch:(shape.batch * nkv) ~m:rows_per_kv_group ~n:shape.kv_len ~k:d ())
+  in
+  let scale =
+    add ~deps:[ score ] ~role:"attn_scale"
+      (Opspec.elementwise ~flops_per_point:1.
+         ~name:(Printf.sprintf "l%d.attn_scale" layer)
+         ~kind:"scale" ~shape:[ t * nh; shape.kv_len ] ())
+  in
+  let softmax =
+    add ~deps:[ scale ] ~role:"attn_softmax"
+      (Opspec.softmax ~name:(Printf.sprintf "l%d.attn_softmax" layer) ~rows:(t * nh)
+         ~cols:shape.kv_len ())
+  in
+  let attn_out =
+    add ~deps:[ softmax; kv_v ] ~role:"attn_out"
+      (Opspec.batch_matmul ~rhs_source
+         ~name:(Printf.sprintf "l%d.attn_out" layer)
+         ~batch:(shape.batch * nkv) ~m:rows_per_kv_group ~n:d ~k:shape.kv_len ())
+  in
+  let o_proj =
+    add ~deps:[ attn_out ] ~role:"o_proj"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.o_proj" layer) ~m:t ~n:cfg.hidden
+         ~k:(nh * d) ())
+  in
+  add ~deps:[ o_proj; input_id ] ~role:"attn_residual"
+    (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+       ~name:(Printf.sprintf "l%d.attn_residual" layer)
+       ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+
+let add_gated_ffn b cfg ~layer ~tokens ~norm_kind ~act_kind ~after:input_id =
+  let t = tokens in
+  let add = Graph.add b ~layer in
+  let norm =
+    add ~deps:[ input_id ] ~role:"ffn_norm"
+      (Opspec.norm ~kind:norm_kind ~name:(Printf.sprintf "l%d.ffn_norm" layer) ~rows:t
+         ~cols:cfg.hidden ())
+  in
+  let gate =
+    add ~deps:[ norm ] ~role:"ffn_gate"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.ffn_gate" layer) ~m:t ~n:cfg.ffn
+         ~k:cfg.hidden ())
+  in
+  let up =
+    add ~deps:[ norm ] ~role:"ffn_up"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.ffn_up" layer) ~m:t ~n:cfg.ffn
+         ~k:cfg.hidden ())
+  in
+  let act =
+    add ~deps:[ gate ] ~role:"ffn_act"
+      (Opspec.elementwise ~flops_per_point:4.
+         ~name:(Printf.sprintf "l%d.ffn_act" layer)
+         ~kind:act_kind ~shape:[ t; cfg.ffn ] ())
+  in
+  let mul =
+    add ~deps:[ act; up ] ~role:"ffn_mul"
+      (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+         ~name:(Printf.sprintf "l%d.ffn_mul" layer)
+         ~kind:"mul" ~shape:[ t; cfg.ffn ] ())
+  in
+  let down =
+    add ~deps:[ mul ] ~role:"ffn_down"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.ffn_down" layer) ~m:t ~n:cfg.hidden
+         ~k:cfg.ffn ())
+  in
+  add ~deps:[ down; input_id ] ~role:"ffn_residual"
+    (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+       ~name:(Printf.sprintf "l%d.ffn_residual" layer)
+       ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+
+(* Mixture-of-experts FFN (paper §7): a router picks [topk] of [experts]
+   same-shaped expert FFNs per token; at compile time Elk plans a generic
+   expert and only the selected experts' tensors are preloaded, so the
+   graph carries [topk] expert instances per layer. *)
+let add_moe_ffn b cfg ~layer ~tokens ~experts ~topk ~after:input_id =
+  let t = tokens in
+  let add = Graph.add b ~layer in
+  let norm =
+    add ~deps:[ input_id ] ~role:"ffn_norm"
+      (Opspec.norm ~kind:"rmsnorm" ~name:(Printf.sprintf "l%d.ffn_norm" layer) ~rows:t
+         ~cols:cfg.hidden ())
+  in
+  let router =
+    add ~deps:[ norm ] ~role:"router"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.router" layer) ~m:t ~n:experts
+         ~k:cfg.hidden ())
+  in
+  let outs =
+    List.init topk (fun e ->
+        let gate =
+          add ~deps:[ router ] ~role:"expert_gate"
+            (Opspec.matmul ~name:(Printf.sprintf "l%d.e%d.gate" layer e) ~m:t ~n:cfg.ffn
+               ~k:cfg.hidden ())
+        in
+        let up =
+          add ~deps:[ router ] ~role:"expert_up"
+            (Opspec.matmul ~name:(Printf.sprintf "l%d.e%d.up" layer e) ~m:t ~n:cfg.ffn
+               ~k:cfg.hidden ())
+        in
+        let act =
+          add ~deps:[ gate ] ~role:"expert_act"
+            (Opspec.elementwise ~flops_per_point:4.
+               ~name:(Printf.sprintf "l%d.e%d.silu" layer e)
+               ~kind:"silu" ~shape:[ t; cfg.ffn ] ())
+        in
+        let mul =
+          add ~deps:[ act; up ] ~role:"expert_mul"
+            (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+               ~name:(Printf.sprintf "l%d.e%d.mul" layer e)
+               ~kind:"mul" ~shape:[ t; cfg.ffn ] ())
+        in
+        add ~deps:[ mul ] ~role:"expert_down"
+          (Opspec.matmul ~name:(Printf.sprintf "l%d.e%d.down" layer e) ~m:t ~n:cfg.hidden
+             ~k:cfg.ffn ()))
+  in
+  add ~deps:(input_id :: outs) ~role:"ffn_residual"
+    (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+       ~name:(Printf.sprintf "l%d.moe_residual" layer)
+       ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+
+let add_mlp_ffn b cfg ~layer ~tokens ~after:input_id =
+  (* OPT-style two-matmul FFN with ReLU and LayerNorm. *)
+  let t = tokens in
+  let add = Graph.add b ~layer in
+  let norm =
+    add ~deps:[ input_id ] ~role:"ffn_norm"
+      (Opspec.norm ~kind:"layernorm" ~name:(Printf.sprintf "l%d.ffn_norm" layer) ~rows:t
+         ~cols:cfg.hidden ())
+  in
+  let fc1 =
+    add ~deps:[ norm ] ~role:"ffn_up"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.fc1" layer) ~m:t ~n:cfg.ffn ~k:cfg.hidden
+         ())
+  in
+  let act =
+    add ~deps:[ fc1 ] ~role:"ffn_act"
+      (Opspec.elementwise ~flops_per_point:1.
+         ~name:(Printf.sprintf "l%d.relu" layer)
+         ~kind:"relu" ~shape:[ t; cfg.ffn ] ())
+  in
+  let fc2 =
+    add ~deps:[ act ] ~role:"ffn_down"
+      (Opspec.matmul ~name:(Printf.sprintf "l%d.fc2" layer) ~m:t ~n:cfg.hidden ~k:cfg.ffn
+         ())
+  in
+  add ~deps:[ fc2; input_id ] ~role:"ffn_residual"
+    (Opspec.elementwise ~arity:2 ~flops_per_point:1.
+       ~name:(Printf.sprintf "l%d.ffn_residual" layer)
+       ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+
+let build_llm cfg phase =
+  let tokens, kv_len, batch, kv_resident =
+    match phase with
+    | Decode { batch; ctx } -> (batch, ctx, batch, true)
+    | Prefill { batch; seq } -> (batch * seq, seq, batch, false)
+  in
+  let shape = { tokens; kv_len; batch; kv_resident } in
+  let use_rope = cfg.family <> Opt in
+  let norm_kind = if cfg.family = Opt then "layernorm" else "rmsnorm" in
+  let act_kind = if cfg.family = Gemma then "gelu" else "silu" in
+  let b = Graph.builder ~name:cfg.cfg_name in
+  let embed =
+    Graph.add b ~role:"embedding"
+      (Opspec.embedding ~name:"embedding" ~rows:tokens ~vocab:cfg.vocab ~hidden:cfg.hidden
+         ())
+  in
+  let last = ref embed in
+  for layer = 0 to cfg.layers - 1 do
+    let after_attn = add_attention b cfg ~layer ~shape ~use_rope ~norm_kind ~after:!last in
+    let after_ffn =
+      match cfg.family with
+      | Opt -> add_mlp_ffn b cfg ~layer ~tokens ~after:after_attn
+      | Moe { experts; topk } ->
+          add_moe_ffn b cfg ~layer ~tokens ~experts ~topk ~after:after_attn
+      | Llama | Gemma | Dit ->
+          add_gated_ffn b cfg ~layer ~tokens ~norm_kind ~act_kind ~after:after_attn
+    in
+    last := after_ffn
+  done;
+  let final_norm =
+    Graph.add b ~deps:[ !last ] ~role:"final_norm"
+      (Opspec.norm ~kind:norm_kind ~name:"final_norm" ~rows:tokens ~cols:cfg.hidden ())
+  in
+  let _head =
+    Graph.add b ~deps:[ final_norm ] ~role:"lm_head"
+      (Opspec.matmul ~name:"lm_head" ~m:tokens ~n:cfg.vocab ~k:cfg.hidden ())
+  in
+  Graph.finish b
+
+let build_dit cfg phase =
+  let batch = match phase with Decode { batch; _ } | Prefill { batch; _ } -> batch in
+  let tok = cfg.dit_tokens in
+  let t = batch * tok in
+  let d = head_dim cfg in
+  let nh = cfg.heads in
+  let b = Graph.builder ~name:cfg.cfg_name in
+  let patchify =
+    Graph.add b ~role:"patchify"
+      (Opspec.conv_patchify ~name:"patchify" ~tokens:t ~in_dim:16 ~out_dim:cfg.hidden ())
+  in
+  let last = ref patchify in
+  for layer = 0 to cfg.layers - 1 do
+    let add = Graph.add b ~layer in
+    let modulation =
+      add ~deps:[ !last ] ~role:"adaln"
+        (Opspec.matmul ~name:(Printf.sprintf "l%d.adaln" layer) ~m:batch
+           ~n:(6 * cfg.hidden) ~k:cfg.hidden ())
+    in
+    let norm1 =
+      add ~deps:[ !last; modulation ] ~role:"attn_norm"
+        (Opspec.norm ~kind:"layernorm" ~name:(Printf.sprintf "l%d.norm1" layer) ~rows:t
+           ~cols:cfg.hidden ())
+    in
+    let qkv =
+      add ~deps:[ norm1 ] ~role:"qkv_proj"
+        (Opspec.matmul ~name:(Printf.sprintf "l%d.qkv" layer) ~m:t ~n:(3 * cfg.hidden)
+           ~k:cfg.hidden ())
+    in
+    let score =
+      add ~deps:[ qkv ] ~role:"attn_score"
+        (Opspec.batch_matmul ~rhs_source:Opspec.Activation
+           ~name:(Printf.sprintf "l%d.attn_score" layer)
+           ~batch:(batch * nh) ~m:tok ~n:tok ~k:d ())
+    in
+    let softmax =
+      add ~deps:[ score ] ~role:"attn_softmax"
+        (Opspec.softmax ~name:(Printf.sprintf "l%d.softmax" layer) ~rows:(batch * nh * tok)
+           ~cols:tok ())
+    in
+    let attn_out =
+      add ~deps:[ softmax; qkv ] ~role:"attn_out"
+        (Opspec.batch_matmul ~rhs_source:Opspec.Activation
+           ~name:(Printf.sprintf "l%d.attn_out" layer)
+           ~batch:(batch * nh) ~m:tok ~n:d ~k:tok ())
+    in
+    let proj =
+      add ~deps:[ attn_out ] ~role:"o_proj"
+        (Opspec.matmul ~name:(Printf.sprintf "l%d.proj" layer) ~m:t ~n:cfg.hidden
+           ~k:cfg.hidden ())
+    in
+    let res1 =
+      add ~deps:[ proj; !last ] ~role:"attn_residual"
+        (Opspec.elementwise ~arity:2 ~flops_per_point:2.
+           ~name:(Printf.sprintf "l%d.gate_res1" layer)
+           ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+    in
+    let norm2 =
+      add ~deps:[ res1; modulation ] ~role:"ffn_norm"
+        (Opspec.norm ~kind:"layernorm" ~name:(Printf.sprintf "l%d.norm2" layer) ~rows:t
+           ~cols:cfg.hidden ())
+    in
+    let up =
+      add ~deps:[ norm2 ] ~role:"ffn_up"
+        (Opspec.matmul ~name:(Printf.sprintf "l%d.ffn_up" layer) ~m:t ~n:cfg.ffn
+           ~k:cfg.hidden ())
+    in
+    let act =
+      add ~deps:[ up ] ~role:"ffn_act"
+        (Opspec.elementwise ~flops_per_point:4.
+           ~name:(Printf.sprintf "l%d.gelu" layer)
+           ~kind:"gelu" ~shape:[ t; cfg.ffn ] ())
+    in
+    let down =
+      add ~deps:[ act ] ~role:"ffn_down"
+        (Opspec.matmul ~name:(Printf.sprintf "l%d.ffn_down" layer) ~m:t ~n:cfg.hidden
+           ~k:cfg.ffn ())
+    in
+    let res2 =
+      add ~deps:[ down; res1 ] ~role:"ffn_residual"
+        (Opspec.elementwise ~arity:2 ~flops_per_point:2.
+           ~name:(Printf.sprintf "l%d.gate_res2" layer)
+           ~kind:"add" ~shape:[ t; cfg.hidden ] ())
+    in
+    last := res2
+  done;
+  let final_norm =
+    Graph.add b ~deps:[ !last ] ~role:"final_norm"
+      (Opspec.norm ~kind:"layernorm" ~name:"final_norm" ~rows:t ~cols:cfg.hidden ())
+  in
+  let _final =
+    Graph.add b ~deps:[ final_norm ] ~role:"final_proj"
+      (Opspec.matmul ~name:"final_proj" ~m:t ~n:32 ~k:cfg.hidden ())
+  in
+  Graph.finish b
+
+let build cfg phase =
+  (match validate cfg with Ok () -> () | Error m -> invalid_arg ("Zoo.build: " ^ m));
+  match cfg.family with
+  | Llama | Gemma | Opt | Moe _ -> build_llm cfg phase
+  | Dit -> build_dit cfg phase
+
+let param_bytes cfg =
+  (* Count weight bytes from a batch-1 decode graph: every [Weights] input. *)
+  let g = build cfg (Decode { batch = 1; ctx = 1 }) in
+  Graph.nodes g
+  |> Array.to_list
+  |> List.concat_map (fun n ->
+         List.filter_map
+           (fun (tensor : Opspec.tensor) ->
+             match tensor.Opspec.source with
+             | Opspec.Weights -> Some (Opspec.tensor_bytes n.Graph.op tensor)
+             | _ -> None)
+           n.Graph.op.Opspec.inputs)
+  |> List.fold_left ( +. ) 0.
+
+let cast_dtype dtype graph =
+  let b = Graph.builder ~name:(Graph.name graph ^ "@" ^ Dtype.to_string dtype) in
+  Array.iter
+    (fun (node : Graph.node) ->
+      ignore
+        (Graph.add b ?layer:node.Graph.layer ~deps:node.Graph.deps ~role:node.Graph.role
+           { node.Graph.op with Opspec.dtype }))
+    (Graph.nodes graph);
+  Graph.finish b
+
+let scale cfg ~factor ~layer_factor =
+  let div1 x f = max 1 (x / f) in
+  {
+    cfg with
+    cfg_name = Printf.sprintf "%s/%dx%d" cfg.cfg_name factor layer_factor;
+    hidden = div1 cfg.hidden factor;
+    ffn = div1 cfg.ffn factor;
+    vocab = div1 cfg.vocab factor;
+    heads = div1 cfg.heads factor;
+    kv_heads = div1 cfg.kv_heads factor;
+    layers = max 2 (cfg.layers / layer_factor);
+  }
+
+let llama2_13b =
+  {
+    cfg_name = "llama2-13b";
+    family = Llama;
+    hidden = 5120;
+    layers = 40;
+    heads = 40;
+    kv_heads = 40;
+    ffn = 13824;
+    vocab = 32000;
+    dit_tokens = 0;
+  }
+
+let llama2_70b =
+  {
+    cfg_name = "llama2-70b";
+    family = Llama;
+    hidden = 8192;
+    layers = 80;
+    heads = 64;
+    kv_heads = 8;
+    ffn = 28672;
+    vocab = 32000;
+    dit_tokens = 0;
+  }
+
+let gemma2_27b =
+  {
+    cfg_name = "gemma2-27b";
+    family = Gemma;
+    hidden = 4608;
+    layers = 46;
+    heads = 32;
+    kv_heads = 16;
+    ffn = 36864;
+    vocab = 256000;
+    dit_tokens = 0;
+  }
+
+let opt_30b =
+  {
+    cfg_name = "opt-30b";
+    family = Opt;
+    hidden = 7168;
+    layers = 48;
+    heads = 56;
+    kv_heads = 56;
+    ffn = 28672;
+    vocab = 50272;
+    dit_tokens = 0;
+  }
+
+let dit_xl =
+  {
+    cfg_name = "dit-xl";
+    family = Dit;
+    hidden = 1152;
+    layers = 28;
+    heads = 16;
+    kv_heads = 16;
+    ffn = 4608;
+    vocab = 1;
+    dit_tokens = 256;
+  }
+
+let mixtral_8x7b =
+  {
+    cfg_name = "mixtral-8x7b";
+    family = Moe { experts = 8; topk = 2 };
+    hidden = 4096;
+    layers = 32;
+    heads = 32;
+    kv_heads = 8;
+    ffn = 14336;
+    vocab = 32000;
+    dit_tokens = 0;
+  }
+
+let all = [ llama2_13b; gemma2_27b; opt_30b; llama2_70b; dit_xl; mixtral_8x7b ]
+let by_name n = List.find_opt (fun c -> c.cfg_name = n) all

@@ -1,0 +1,82 @@
+(** Model zoo: declarative builders for the paper's evaluation models
+    (Table 2) — Llama2-13B/70B, Gemma2-27B, OPT-30B and DiT-XL — expanded
+    into {!Graph.t} operator DAGs.
+
+    This replaces the PyTorch→ONNX frontend of the paper (§5): the
+    published architecture configurations are expanded operator by operator
+    (projections, rope, KV-cache reads, attention matmuls, norms, FFN,
+    residuals), with weights and KV cache marked HBM-resident exactly as
+    the paper's execution model assumes.  Operator granularity differs
+    slightly from the authors' ONNX export (we do not emit reshape/cast
+    no-ops), so absolute N in Table 2 differs; all shape-dependent
+    quantities match the published model configs. *)
+
+(** [Moe] carries the expert count and the per-token active expert count
+    (top-k); the built graph contains a router plus [topk] generic-expert
+    FFN instances per layer — the paper's §7 compile-time treatment of
+    MoE, where only selected experts' tensors are preloaded at runtime. *)
+type family = Llama | Gemma | Opt | Dit | Moe of { experts : int; topk : int }
+
+type config = {
+  cfg_name : string;
+  family : family;
+  hidden : int;
+  layers : int;
+  heads : int;
+  kv_heads : int;  (** = [heads] without GQA. *)
+  ffn : int;  (** FFN intermediate size. *)
+  vocab : int;
+  dit_tokens : int;  (** latent token count; only used by [Dit]. *)
+}
+
+(** Workload phase.  [Decode] is one autoregressive step with a KV cache of
+    [ctx] tokens (the paper's main workload); [Prefill] processes [seq]
+    fresh tokens per request and doubles as the training forward pass
+    (Fig 24). *)
+type phase = Decode of { batch : int; ctx : int } | Prefill of { batch : int; seq : int }
+
+val head_dim : config -> int
+(** [hidden / heads].  Raises [Invalid_argument] if not divisible. *)
+
+val validate : config -> (unit, string) result
+(** Sanity-check divisibility and positivity constraints. *)
+
+val build : config -> phase -> Graph.t
+(** Expand a configuration into an operator graph for one full forward
+    pass of the given phase (embedding, all layers, final norm + head). *)
+
+val param_bytes : config -> float
+(** Total weight bytes (fp16) — the model-size ballpark used in scaling
+    sanity checks. *)
+
+val cast_dtype : Elk_tensor.Dtype.t -> Graph.t -> Graph.t
+(** Re-type every operator's tensors (weight quantization in the coarse,
+    whole-graph sense the paper's §8 compatibility claim needs: dtype
+    changes shrink HBM/SRAM volumes but "do not change the execution
+    pattern").  Structure, roles and dependencies are preserved. *)
+
+val scale : config -> factor:int -> layer_factor:int -> config
+(** [scale cfg ~factor ~layer_factor] shrinks a configuration for
+    laptop-scale experiments: width-like dimensions (hidden, ffn, vocab,
+    heads, kv_heads) divided by [factor], layer count by [layer_factor].
+    Head geometry is preserved ([head_dim] unchanged); all divisions are
+    clamped to at least 1 (2 for layers). *)
+
+(** {1 Presets (published configurations)} *)
+
+val llama2_13b : config
+val llama2_70b : config
+val gemma2_27b : config
+val opt_30b : config
+val dit_xl : config
+
+val mixtral_8x7b : config
+(** Mixtral-8x7B (8 experts, top-2): the MoE configuration for the §7
+    discussion; not part of the paper's Table 2. *)
+
+val all : config list
+(** The five evaluation models in the paper's Table 2 order, plus
+    {!mixtral_8x7b}. *)
+
+val by_name : string -> config option
+(** Look up a preset by [cfg_name]. *)

@@ -1,0 +1,1 @@
+lib/noc/noc.ml: Arch Elk_arch Float Hashtbl List

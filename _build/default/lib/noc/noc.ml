@@ -1,0 +1,214 @@
+open Elk_arch
+
+type node = Core of int | Hbm of int
+
+type link =
+  | Port_in of node
+  | Port_out of node
+  | Edge of { from_core : int; to_core : int }
+  | Hbm_edge of { ctrl : int; entry : int }
+  | L2_fabric
+
+type t = { chip : Arch.chip; rows : int; cols : int }
+
+let create chip =
+  (match Arch.validate_chip chip with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Noc.create: " ^ m));
+  match chip.Arch.topology with
+  | Arch.All_to_all | Arch.Clustered _ -> { chip; rows = 1; cols = chip.Arch.cores }
+  | Arch.Mesh2d { rows; cols } -> { chip; rows; cols }
+
+let chip t = t.chip
+let cores t = t.chip.Arch.cores
+let is_mesh t = match t.chip.Arch.topology with Arch.Mesh2d _ -> true | _ -> false
+
+let cluster_of t c =
+  match t.chip.Arch.topology with
+  | Arch.Clustered { cluster_size; _ } -> Some (c / cluster_size)
+  | _ -> None
+
+let validate_node t = function
+  | Core c -> c >= 0 && c < cores t
+  | Hbm h -> h >= 0 && h < t.chip.Arch.hbm_controllers
+
+let check_node t n fn =
+  if not (validate_node t n) then invalid_arg ("Noc." ^ fn ^ ": unknown node")
+
+let per_ctrl_bw t =
+  t.chip.Arch.hbm_bandwidth /. float_of_int t.chip.Arch.hbm_controllers
+
+(* Mesh geometry: core i sits at (i / cols, i mod cols).  Controller h
+   enters the mesh at an evenly spaced boundary core of row 0 or the last
+   row, alternating sides. *)
+let coord t c = (c / t.cols, c mod t.cols)
+let core_at t r c = (r * t.cols) + c
+
+(* Controller [h] owns a strip of boundary cores: even controllers on the
+   top row, odd on the bottom, strips tiling the columns.  A preload to a
+   destination core enters the mesh at the strip core closest to the
+   destination's column, so injection spreads over the whole strip. *)
+let ctrl_strip t h =
+  let nc = t.chip.Arch.hbm_controllers in
+  let per_side = (nc + 1) / 2 in
+  let idx = h / 2 in
+  let lo = idx * t.cols / per_side in
+  let hi = min (t.cols - 1) (((idx + 1) * t.cols / per_side) - 1) in
+  let row = if h mod 2 = 0 then 0 else t.rows - 1 in
+  (row, lo, max lo hi)
+
+let entry_core_for t h dst =
+  let row, lo, hi = ctrl_strip t h in
+  let _, dst_col = coord t dst in
+  core_at t row (max lo (min hi dst_col))
+
+let mesh_route t src dst =
+  (* Dimension-order: walk columns first, then rows. *)
+  let r0, c0 = coord t src and r1, c1 = coord t dst in
+  let edges = ref [] in
+  let cur_r = ref r0 and cur_c = ref c0 in
+  while !cur_c <> c1 do
+    let next = if c1 > !cur_c then !cur_c + 1 else !cur_c - 1 in
+    edges := Edge { from_core = core_at t !cur_r !cur_c; to_core = core_at t !cur_r next } :: !edges;
+    cur_c := next
+  done;
+  while !cur_r <> r1 do
+    let next = if r1 > !cur_r then !cur_r + 1 else !cur_r - 1 in
+    edges := Edge { from_core = core_at t !cur_r !cur_c; to_core = core_at t next !cur_c } :: !edges;
+    cur_r := next
+  done;
+  List.rev !edges
+
+let route t ~src ~dst =
+  check_node t src "route";
+  check_node t dst "route";
+  if src = dst then []
+  else
+    match (src, dst) with
+    | _, Hbm _ -> invalid_arg "Noc.route: HBM controllers only send"
+    | Core s, Core d -> (
+        if is_mesh t then mesh_route t s d
+        else
+          match (cluster_of t s, cluster_of t d) with
+          | Some cs, Some cd when cs <> cd ->
+              (* Inter-cluster traffic crosses the shared L2 fabric. *)
+              [ Port_out (Core s); L2_fabric; Port_in (Core d) ]
+          | _ -> [ Port_out (Core s); Port_in (Core d) ])
+    | Hbm h, Core d ->
+        if is_mesh t then
+          let entry = entry_core_for t h d in
+          Port_out (Hbm h) :: Hbm_edge { ctrl = h; entry } :: mesh_route t entry d
+        else if cluster_of t d <> None then
+          (* GPU-style: HBM sits behind the L2. *)
+          [ Port_out (Hbm h); L2_fabric; Port_in (Core d) ]
+        else [ Port_out (Hbm h); Port_in (Core d) ]
+
+let hops t ~src ~dst = List.length (route t ~src ~dst)
+
+let link_bandwidth t = function
+  | Port_in (Core _) | Port_out (Core _) -> t.chip.Arch.intercore_link.Arch.bandwidth
+  | Port_in (Hbm _) | Port_out (Hbm _) -> per_ctrl_bw t
+  | Edge _ -> t.chip.Arch.intercore_link.Arch.bandwidth
+  | Hbm_edge _ ->
+      (* The controller's pipe into its boundary strip runs at the
+         controller's rate; the mesh-internal hops behind the entry are
+         where the delivery contends. *)
+      per_ctrl_bw t
+  | L2_fabric -> (
+      match t.chip.Arch.topology with
+      | Arch.Clustered { l2_bandwidth; _ } -> l2_bandwidth
+      | _ -> invalid_arg "Noc.link_bandwidth: L2 on a non-clustered chip")
+
+let route_latency t ~src ~dst =
+  float_of_int (max 1 (hops t ~src ~dst)) *. t.chip.Arch.intercore_link.Arch.latency
+
+let transfer_time t ~src ~dst ~bytes =
+  if bytes < 0. then invalid_arg "Noc.transfer_time: negative size";
+  if src = dst then 0.
+  else
+    let r = route t ~src ~dst in
+    let bottleneck =
+      List.fold_left (fun bw l -> Float.min bw (link_bandwidth t l)) infinity r
+    in
+    route_latency t ~src ~dst +. (bytes /. bottleneck)
+
+let hbm_ctrl_for_core t c =
+  check_node t (Core c) "hbm_ctrl_for_core";
+  Hbm (c mod t.chip.Arch.hbm_controllers)
+
+module Load = struct
+  type loads = {
+    noc : t;
+    volumes : (link, float ref) Hashtbl.t;
+    mutable total : float;
+    mutable worst_latency : float;
+  }
+
+  let create noc = { noc; volumes = Hashtbl.create 64; total = 0.; worst_latency = 0. }
+
+  let add l ~src ~dst ~bytes =
+    if bytes < 0. then invalid_arg "Noc.Load.add: negative size";
+    let r = route l.noc ~src ~dst in
+    List.iter
+      (fun link ->
+        match Hashtbl.find_opt l.volumes link with
+        | Some v -> v := !v +. bytes
+        | None -> Hashtbl.add l.volumes link (ref bytes))
+      r;
+    l.total <- l.total +. bytes;
+    if r <> [] then
+      l.worst_latency <- Float.max l.worst_latency (route_latency l.noc ~src ~dst)
+
+  let volume_on l link =
+    match Hashtbl.find_opt l.volumes link with Some v -> !v | None -> 0.
+
+  let total_volume l = l.total
+
+  let makespan l =
+    let worst =
+      Hashtbl.fold
+        (fun link v acc -> Float.max acc (!v /. link_bandwidth l.noc link))
+        l.volumes 0.
+    in
+    if worst = 0. then 0. else worst +. l.worst_latency
+
+  let busiest l =
+    Hashtbl.fold
+      (fun link v acc ->
+        let time = !v /. link_bandwidth l.noc link in
+        match acc with
+        | Some (_, best) when best >= time -> acc
+        | _ -> Some (link, time))
+      l.volumes None
+
+  let mean_utilization l ~horizon =
+    if horizon <= 0. then 0.
+    else
+      let n = cores l.noc in
+      let sum = ref 0. in
+      for c = 0 to n - 1 do
+        let vol =
+          if is_mesh l.noc then
+            (* On a mesh the port view does not exist; approximate each
+               core's port load by the traffic on its outgoing edges. *)
+            List.fold_left ( +. ) 0.
+              (List.filter_map
+                 (fun link ->
+                   match link with
+                   | Edge { from_core; _ } when from_core = c -> Some (volume_on l link)
+                   | _ -> None)
+                 (Hashtbl.fold (fun k _ acc -> k :: acc) l.volumes []))
+          else volume_on l (Port_in (Core c)) +. volume_on l (Port_out (Core c))
+        in
+        let bw = l.noc.chip.Arch.intercore_link.Arch.bandwidth in
+        let denominator = if is_mesh l.noc then bw *. 4. else bw *. 2. in
+        sum := !sum +. Float.min 1. (vol /. denominator /. horizon)
+      done;
+      !sum /. float_of_int n
+end
+
+let broadcast_time t ~src ~dsts ~bytes_per_dst =
+  check_node t src "broadcast_time";
+  let loads = Load.create t in
+  List.iter (fun d -> Load.add loads ~src ~dst:(Core d) ~bytes:bytes_per_dst) dsts;
+  Load.makespan loads

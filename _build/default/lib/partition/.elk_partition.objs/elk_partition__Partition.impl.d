@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Arch Array Dtype Elk_arch Elk_cost Elk_tensor Elk_util Float Format Hashtbl List Opspec Pareto Printf String Units

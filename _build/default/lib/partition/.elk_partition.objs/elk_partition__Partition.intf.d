@@ -1,0 +1,1 @@
+lib/partition/partition.mli: Elk_arch Elk_cost Elk_tensor Elk_util Format

@@ -1,0 +1,426 @@
+open Elk_util
+open Elk_tensor
+open Elk_arch
+
+type plan = {
+  factors : int array;
+  tile : int array;
+  cores_used : int;
+  exec_space : float;
+  exec_time : float;
+  compute_time : float;
+  exchange_bytes_per_core : float;
+  hbm_needed_per_core : float;
+  max_share_group : int;
+}
+
+type preload_opt = {
+  frac : float;
+  preload_space : float;
+  dist_bytes_per_core : float;
+  dist_time : float;
+  hbm_device_bytes : float;
+  noc_inject_bytes : float;
+  preload_len : float;
+  hbm_floor : float;
+}
+
+let preload_overhead o = o.dist_time +. Float.max 0. (o.preload_len -. o.hbm_floor)
+
+type memo_entry = { plans : plan list; frontier : plan Pareto.point list }
+
+type ctx = {
+  chip : Arch.chip;
+  cost : Elk_cost.Costmodel.t;
+  max_plans : int;
+  memo : (string, memo_entry) Hashtbl.t;
+  popt_memo : (string, preload_opt list) Hashtbl.t;
+}
+
+let make_ctx ?(max_plans_per_op = 512) cost =
+  {
+    chip = Elk_cost.Costmodel.chip cost;
+    cost;
+    max_plans = max_plans_per_op;
+    memo = Hashtbl.create 64;
+    popt_memo = Hashtbl.create 256;
+  }
+
+let ctx_chip ctx = ctx.chip
+let ctx_cost ctx = ctx.cost
+
+let plan_signature (op : Opspec.t) =
+  let tensor_sig (t : Opspec.tensor) =
+    Printf.sprintf "(%s:%s)"
+      (String.concat "," (List.map string_of_int t.Opspec.dims))
+      (match t.Opspec.source with
+      | Opspec.Weights -> "w"
+      | Opspec.Kv_cache -> "kv"
+      | Opspec.Activation -> "a")
+  in
+  Printf.sprintf "%s|%s|%s|%s|%s" op.Opspec.kind
+    (String.concat "x" (Array.to_list op.Opspec.iter |> List.map string_of_int))
+    (String.concat ";" (List.map tensor_sig op.Opspec.inputs))
+    (tensor_sig op.Opspec.output)
+    (Dtype.to_string op.Opspec.dtype)
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Candidate part counts for one dimension: its divisors plus powers of
+   two, bounded by the extent and the core count. *)
+let dim_candidates ~extent ~cores =
+  let bound = min extent cores in
+  let acc = ref [] in
+  let add v = if v >= 1 && v <= bound && not (List.mem v !acc) then acc := v :: !acc in
+  add 1;
+  let d = ref 1 in
+  while !d * !d <= extent do
+    if extent mod !d = 0 then begin
+      add !d;
+      add (extent / !d)
+    end;
+    incr d
+  done;
+  let p = ref 1 in
+  while !p <= bound do
+    add !p;
+    p := !p * 2
+  done;
+  List.sort compare !acc
+
+(* Enumerate factor vectors whose product stays within the core budget,
+   optionally restricted to [max_split_dims] partitioned dimensions. *)
+let factor_vectors ~iter ~cores ~max_split_dims ~cap =
+  let ndims = Array.length iter in
+  let results = ref [] and count = ref 0 in
+  let current = Array.make ndims 1 in
+  let rec go dim prod split_dims =
+    if !count >= cap then ()
+    else if dim = ndims then begin
+      results := Array.copy current :: !results;
+      incr count
+    end
+    else
+      List.iter
+        (fun f ->
+          if prod * f <= cores && (f = 1 || split_dims < max_split_dims) then begin
+            current.(dim) <- f;
+            go (dim + 1) (prod * f) (if f = 1 then split_dims else split_dims + 1);
+            current.(dim) <- 1
+          end)
+        (dim_candidates ~extent:iter.(dim) ~cores)
+  in
+  go 0 1 0;
+  !results
+
+let elem_size op = float_of_int (Dtype.size_bytes op.Opspec.dtype)
+
+let tensor_needed op tile (t : Opspec.tensor) =
+  List.fold_left (fun a d -> a *. float_of_int tile.(d)) 1. t.Opspec.dims *. elem_size op
+
+let share_group factors (t : Opspec.tensor) =
+  let g = ref 1 in
+  Array.iteri (fun d f -> if not (List.mem d t.Opspec.dims) then g := !g * f) factors;
+  !g
+
+let comm_hops chip =
+  match chip.Arch.topology with
+  | Arch.All_to_all -> 2
+  | Arch.Clustered _ -> 3
+  | Arch.Mesh2d _ -> 1
+
+(* Rate at which HBM controllers can inject preload traffic into the
+   interconnect: the controllers' aggregate bandwidth, or on a mesh the
+   boundary entry strips (two rows of [cols] links). *)
+let inject_rate chip =
+  let link_bw = chip.Arch.intercore_link.Arch.bandwidth in
+  match chip.Arch.topology with
+  | Arch.All_to_all -> chip.Arch.hbm_bandwidth
+  | Arch.Clustered { l2_bandwidth; _ } -> Float.min chip.Arch.hbm_bandwidth l2_bandwidth
+  | Arch.Mesh2d { cols; _ } ->
+      (* Deliveries fan out of ~2 cols entry cores, each spreading over
+         roughly two useful mesh directions. *)
+      Float.min chip.Arch.hbm_bandwidth (4. *. float_of_int cols *. link_bw)
+
+let plan_of_factors ctx (op : Opspec.t) factors =
+  let tile = Array.mapi (fun i f -> ceil_div op.Opspec.iter.(i) f) factors in
+  let tiles = Array.fold_left ( * ) 1 factors in
+  let cores = ctx.chip.Arch.cores in
+  (* Operators whose tiles outnumber the cores execute in [rounds]
+     sequential rounds, one tile per core per round — how real compilers
+     handle operators too large for one spatial pass.  Per-round working
+     sets bound the execution space; HBM-resident inputs for all rounds
+     must be preloaded, so they scale with [rounds]. *)
+  let rounds = ceil_div tiles cores in
+  let cores_used = min tiles cores in
+  let froll = float_of_int rounds in
+  let out_slice = tensor_needed op tile op.Opspec.output in
+  let reduce_group = share_group factors op.Opspec.output in
+  let input_needs =
+    List.map (fun t -> (t, tensor_needed op tile t, share_group factors t)) op.Opspec.inputs
+  in
+  let act_slice =
+    List.fold_left
+      (fun a ((t : Opspec.tensor), need, _) ->
+        match t.Opspec.source with Opspec.Activation -> a +. need | _ -> a)
+      0. input_needs
+  in
+  let hbm_needed_round, max_g =
+    List.fold_left
+      (fun (acc, mg) ((t : Opspec.tensor), need, g) ->
+        match t.Opspec.source with
+        | Opspec.Weights | Opspec.Kv_cache -> (acc +. need, max mg g)
+        | Opspec.Activation -> (acc, mg))
+      (0., 1) input_needs
+  in
+  (* Execution space per core and round: the activation working set, the
+     preloaded HBM slices of every round, and the output of the current
+     round (plus a partial-result buffer when a reduction dimension is
+     split; completed round outputs stream onward). *)
+  let exec_space =
+    act_slice
+    +. (hbm_needed_round *. froll)
+    +. (out_slice *. if reduce_group > 1 then 2. else 1.)
+  in
+  let act_fetch =
+    List.fold_left
+      (fun a ((t : Opspec.tensor), need, g) ->
+        match t.Opspec.source with
+        | Opspec.Activation when g > 1 -> a +. (need *. float_of_int (g - 1) /. float_of_int g)
+        | _ -> a)
+      0. input_needs
+  in
+  let red_bytes =
+    if reduce_group > 1 then
+      out_slice *. float_of_int (reduce_group - 1) /. float_of_int reduce_group
+    else 0.
+  in
+  let exchange = (act_fetch +. red_bytes) *. froll in
+  let hops = comm_hops ctx.chip in
+  let t_comm =
+    if exchange > 0. then Elk_cost.Costmodel.predict_transfer ctx.cost ~hops ~bytes:exchange
+    else 0.
+  in
+  let t_compute =
+    froll
+    *. Elk_cost.Costmodel.predict_exec ctx.cost ~kind:op.Opspec.kind ~iter:tile
+  in
+  {
+    factors;
+    tile;
+    cores_used;
+    exec_space;
+    exec_time = t_compute +. t_comm;
+    compute_time = t_compute;
+    exchange_bytes_per_core = exchange;
+    hbm_needed_per_core = hbm_needed_round *. froll;
+    max_share_group = max_g;
+  }
+
+let compute_plans ctx (op : Opspec.t) =
+  let cores = ctx.chip.Arch.cores in
+  let max_split_dims =
+    match ctx.chip.Arch.topology with
+    | Arch.All_to_all | Arch.Clustered _ -> Array.length op.Opspec.iter
+    | Arch.Mesh2d _ -> 2
+  in
+  let vectors =
+    (* Allow up to 16 sequential rounds so operators bigger than one
+       spatial pass still get plans. *)
+    factor_vectors ~iter:op.Opspec.iter ~cores:(cores * 16) ~max_split_dims
+      ~cap:(ctx.max_plans * 64)
+  in
+  let points =
+    Array.fold_left (fun a e -> if a > cores then a else a * e) 1 op.Opspec.iter
+  in
+  let min_cores = min (max 1 (cores / 4)) points in
+  let sram = Arch.usable_sram_per_core ctx.chip in
+  let plans =
+    List.filter_map
+      (fun factors ->
+        let cores_used = Array.fold_left ( * ) 1 factors in
+        if cores_used < min_cores then None
+        else
+          let p = plan_of_factors ctx op factors in
+          if p.exec_space > sram then None else Some p)
+      vectors
+  in
+  (* Deduplicate by tile shape (distinct factorizations can yield the same
+     ceil-divided tile) and keep the fastest representative. *)
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let key = Array.to_list p.tile in
+      match Hashtbl.find_opt table key with
+      | Some q when q.exec_time <= p.exec_time -> ()
+      | _ -> Hashtbl.replace table key p)
+    plans;
+  let deduped = Hashtbl.fold (fun _ p acc -> p :: acc) table [] in
+  let sorted = List.sort (fun a b -> compare a.exec_time b.exec_time) deduped in
+  let truncated = List.filteri (fun i _ -> i < ctx.max_plans) sorted in
+  truncated
+
+let compute_preload_options ctx (op : Opspec.t) plan =
+  let hbm_inputs =
+    List.filter
+      (fun (t : Opspec.tensor) ->
+        match t.Opspec.source with Opspec.Weights | Opspec.Kv_cache -> true | _ -> false)
+      op.Opspec.inputs
+  in
+  if hbm_inputs = [] then
+    [
+      {
+        frac = 1.;
+        preload_space = 0.;
+        dist_bytes_per_core = 0.;
+        dist_time = 0.;
+        hbm_device_bytes = 0.;
+        noc_inject_bytes = 0.;
+        preload_len = 0.;
+        hbm_floor = 0.;
+      };
+    ]
+  else begin
+    let rounds =
+      ceil_div (Array.fold_left ( * ) 1 plan.factors) ctx.chip.Arch.cores
+    in
+    let needs =
+      (* All rounds' HBM-resident slices must be delivered to the core. *)
+      List.map
+        (fun t ->
+          ( tensor_needed op plan.tile t *. float_of_int rounds,
+            share_group plan.factors t ))
+        hbm_inputs
+    in
+    let device_bytes = List.fold_left (fun a (t : Opspec.tensor) -> a +. Opspec.tensor_bytes op t) 0. hbm_inputs in
+    let max_g = List.fold_left (fun a (_, g) -> max a g) 1 needs in
+    let rec fracs acc f =
+      if f *. float_of_int max_g <= 1.000001 then (1. /. float_of_int max_g) :: acc
+      else fracs (f :: acc) (f /. 2.)
+    in
+    let candidates = List.sort_uniq compare (fracs [] 1.) in
+    let hops = comm_hops ctx.chip in
+    let hbm_floor = Elk_cost.Costmodel.hbm_time ctx.cost ~bytes:device_bytes in
+    let link_bw = ctx.chip.Arch.intercore_link.Arch.bandwidth in
+    let opts =
+      List.map
+        (fun frac ->
+          let preload_space, dist_bytes, inject =
+            List.fold_left
+              (fun (ps, db, inj) (need, g) ->
+                let f = Float.max frac (1. /. float_of_int g) in
+                ( ps +. (need *. f),
+                  db +. (need *. (1. -. f)),
+                  inj +. (need *. f *. float_of_int plan.cores_used) ))
+              (0., 0., 0.) needs
+          in
+          let dist_time =
+            if dist_bytes > 0. then
+              Elk_cost.Costmodel.predict_transfer ctx.cost ~hops ~bytes:dist_bytes
+            else 0.
+          in
+          let preload_len =
+            Float.max hbm_floor
+              (Float.max (inject /. inject_rate ctx.chip) (preload_space /. link_bw))
+          in
+          {
+            frac;
+            preload_space;
+            dist_bytes_per_core = dist_bytes;
+            dist_time;
+            hbm_device_bytes = device_bytes;
+            noc_inject_bytes = inject;
+            preload_len;
+            hbm_floor;
+          })
+        candidates
+    in
+    let frontier =
+      Pareto.frontier
+        (List.map
+           (fun o -> { Pareto.x = o.preload_space; y = preload_overhead o; payload = o })
+           opts)
+    in
+    match frontier with
+    | [] -> [ List.hd opts ]
+    | pts -> List.map (fun p -> p.Pareto.payload) pts
+  end
+
+
+let rec lookup ctx op =
+  let key = plan_signature op in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some e -> e
+  | None ->
+      let plans = compute_plans ctx op in
+      let frontier =
+        Pareto.frontier
+          (List.map
+             (fun p ->
+               let overhead =
+                 List.fold_left
+                   (fun a o -> Float.min a (preload_overhead o))
+                   infinity
+                   (preload_options ctx op p)
+               in
+               let overhead = if overhead = infinity then 0. else overhead in
+               { Pareto.x = p.exec_space; y = p.exec_time +. overhead; payload = p })
+             plans)
+      in
+      let e = { plans; frontier } in
+      Hashtbl.add ctx.memo key e;
+      e
+
+and preload_options ctx op plan =
+  let key =
+    plan_signature op ^ "#"
+    ^ String.concat "," (Array.to_list plan.factors |> List.map string_of_int)
+  in
+  match Hashtbl.find_opt ctx.popt_memo key with
+  | Some opts -> opts
+  | None ->
+      let opts = compute_preload_options ctx op plan in
+      Hashtbl.add ctx.popt_memo key opts;
+      opts
+
+let enumerate ctx op = (lookup ctx op).plans
+let exec_frontier ctx op = (lookup ctx op).frontier
+
+let fastest_plan ctx op =
+  match Pareto.min_y (exec_frontier ctx op) with
+  | Some p -> p.Pareto.payload
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Partition.fastest_plan: no plan fits on chip for %s" op.Opspec.name)
+
+let fastest_plan_within ctx op ~space =
+  match Pareto.best_y_under_x (exec_frontier ctx op) space with
+  | Some p -> Some p.Pareto.payload
+  | None -> None
+
+let plan_with_factors ctx (op : Opspec.t) factors =
+  let rank = Array.length op.Opspec.iter in
+  if Array.length factors <> rank then
+    Error (Printf.sprintf "%s: factor rank %d, expected %d" op.Opspec.name
+             (Array.length factors) rank)
+  else if Array.exists (fun f -> f < 1) factors then
+    Error (op.Opspec.name ^ ": nonpositive factor")
+  else if
+    Array.exists2 (fun f e -> f > e) factors op.Opspec.iter
+  then Error (op.Opspec.name ^ ": factor exceeds extent")
+  else Ok (plan_of_factors ctx op factors)
+
+let preload_option_near ctx op plan ~frac =
+  match preload_options ctx op plan with
+  | [] -> invalid_arg "Partition.preload_option_near: no options"
+  | first :: rest ->
+      List.fold_left
+        (fun best o ->
+          if Float.abs (o.frac -. frac) < Float.abs (best.frac -. frac) then o else best)
+        first rest
+
+let pp_plan fmt p =
+  Format.fprintf fmt "<%s> tile=%s cores=%d space=%a time=%a"
+    (String.concat "," (Array.to_list p.factors |> List.map string_of_int))
+    (String.concat "x" (Array.to_list p.tile |> List.map string_of_int))
+    p.cores_used Units.pp_bytes p.exec_space Units.pp_time p.exec_time

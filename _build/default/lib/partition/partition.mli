@@ -1,0 +1,117 @@
+(** Operator partition plans and their execute/preload-state tradeoffs
+    (paper §4.3 and Figure 3).
+
+    A {e partition plan} slices an operator's iteration space into tiles,
+    one per core, written as the paper writes them — a vector of per-dim
+    part counts (["<90,9>"]).  From a plan and the operator's tensor
+    access structure this module derives everything Elk's allocator and
+    scheduler consume:
+
+    - {b execution space}: per-core SRAM bytes during execution (input
+      slices, output slice, reduction buffer);
+    - {b execution time}: per-core tile compute time from the trained cost
+      model, plus inter-core exchange serialized BSP-style (activation
+      sharing and partial-result reduction);
+    - {b preload-state options}: for each HBM-resident input shared by a
+      group of [g] cores, the fraction [f ∈ {1, 1/2, ..., 1/g}] broadcast
+      at preload time; the rest moves in the data-distribution phase when
+      the operator is promoted to execute state (Fig 3 (b)/(c));
+    - {b HBM volumes}: bytes read from HBM devices (once per element) vs
+      bytes injected into the interconnect by controllers (scaled by
+      broadcast replication).
+
+    Plan enumeration is memoized per operator signature, so the identical
+    layers of an LLM cost one enumeration. *)
+
+type ctx
+(** Enumeration context: chip, trained cost model, memo tables. *)
+
+val make_ctx : ?max_plans_per_op:int -> Elk_cost.Costmodel.t -> ctx
+(** Build a context from a trained cost model (the chip is taken from the
+    model).  [max_plans_per_op] caps enumeration (default 512). *)
+
+val ctx_chip : ctx -> Elk_arch.Arch.chip
+val ctx_cost : ctx -> Elk_cost.Costmodel.t
+
+type plan = {
+  factors : int array;  (** parts per iteration dimension. *)
+  tile : int array;  (** per-core tile extents, ceil-divided. *)
+  cores_used : int;  (** product of [factors]. *)
+  exec_space : float;  (** per-core execution-space bytes. *)
+  exec_time : float;  (** on-chip execution time of the whole operator. *)
+  compute_time : float;  (** compute component of [exec_time]. *)
+  exchange_bytes_per_core : float;
+      (** per-core inter-core traffic during execution (activation sharing
+          + reduction), excluding weight distribution. *)
+  hbm_needed_per_core : float;
+      (** execute-state resident HBM bytes per core (full broadcast). *)
+  max_share_group : int;
+      (** largest sharing group among HBM-resident inputs; 1 when nothing
+          is shared. *)
+}
+
+val enumerate : ctx -> Elk_tensor.Opspec.t -> plan list
+(** All candidate plans for an operator on this chip: per-dim part counts
+    drawn from divisors and powers of two, product within the core count,
+    mesh chips restricted to at most 2 partitioned dimensions (§5).
+    Result is sorted by [exec_time] and deduplicated by tile shape. *)
+
+val exec_frontier : ctx -> Elk_tensor.Opspec.t -> plan Elk_util.Pareto.point list
+(** Pareto frontier over {!enumerate} — Tradeoff 1 of Fig 11 — with
+    [x = exec_space] and [y = exec_time] plus the plan's best achievable
+    {!preload_overhead}, so that a plan that executes marginally faster
+    but forces an expensive preload state (e.g. a huge replicated weight
+    slice per core) does not dominate.  Memoized. *)
+
+val fastest_plan : ctx -> Elk_tensor.Opspec.t -> plan
+(** The frontier plan minimizing execution time plus best preload
+    overhead.  Raises [Invalid_argument] if no plan fits (an operator too
+    large for the chip). *)
+
+val fastest_plan_within : ctx -> Elk_tensor.Opspec.t -> space:float -> plan option
+(** Fastest plan whose execution space fits the budget — the primitive the
+    [Static] baseline uses (§6.1). *)
+
+type preload_opt = {
+  frac : float;  (** broadcast fraction in (0, 1]. *)
+  preload_space : float;  (** per-core preload-space bytes. *)
+  dist_bytes_per_core : float;  (** data-distribution fetch per core. *)
+  dist_time : float;  (** data-distribution phase time. *)
+  hbm_device_bytes : float;  (** bytes read from HBM devices. *)
+  noc_inject_bytes : float;  (** bytes injected by controllers on preload. *)
+  preload_len : float;
+      (** preload duration: max of the HBM device roofline time, the
+          controller injection time and the per-core inbound link time
+          (§4.2's preload-time estimate). *)
+  hbm_floor : float;
+      (** HBM device roofline time alone — the irreducible part of
+          [preload_len]; the excess is interconnect-imposed. *)
+}
+
+val preload_overhead : preload_opt -> float
+(** [dist_time + max 0 (preload_len - hbm_floor)]: the total time cost a
+    preload-state option adds beyond the unavoidable HBM transfer — the
+    quantity the allocator trades against preload space. *)
+
+val preload_options : ctx -> Elk_tensor.Opspec.t -> plan -> preload_opt list
+(** Pareto-optimal preload-state options of an execute-state plan
+    (Tradeoffs 2-3 of Fig 11), from minimal residency ([frac = 1/g]) to
+    full broadcast ([frac = 1]), sorted by increasing [preload_space].
+    Operators with no HBM-resident inputs get a single zero option. *)
+
+val plan_with_factors :
+  ctx -> Elk_tensor.Opspec.t -> int array -> (plan, string) result
+(** Rebuild the plan a given factor vector denotes (used when loading a
+    serialized schedule).  Errors on malformed vectors (wrong rank,
+    nonpositive or out-of-range factors). *)
+
+val preload_option_near :
+  ctx -> Elk_tensor.Opspec.t -> plan -> frac:float -> preload_opt
+(** The preload-state option whose broadcast fraction is closest to
+    [frac] — the inverse of serializing an option by its fraction. *)
+
+val plan_signature : Elk_tensor.Opspec.t -> string
+(** Memoization key: kind, iteration extents and input sharing structure
+    (operators from identical layers share a signature). *)
+
+val pp_plan : Format.formatter -> plan -> unit

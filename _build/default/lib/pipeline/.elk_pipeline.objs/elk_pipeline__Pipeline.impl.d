@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: Array Elk_arch Elk_model Elk_partition Elk_tensor Elk_util Float Format Graph List

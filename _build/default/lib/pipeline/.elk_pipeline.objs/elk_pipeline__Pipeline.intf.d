@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Elk_model Elk_partition Format

@@ -1,0 +1,1 @@
+lib/serve/serve.ml: Elk Elk_arch Elk_baselines Elk_dse Elk_model Elk_sim Elk_util Format Hashtbl List Unix

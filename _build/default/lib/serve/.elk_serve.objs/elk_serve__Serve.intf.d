@@ -1,0 +1,1 @@
+lib/serve/serve.mli: Elk Elk_baselines Elk_dse Elk_model Format

@@ -1,0 +1,99 @@
+module B = Elk_baselines.Baselines
+module D = Elk_dse.Dse
+
+type step = { token : int; ctx : int; latency : float; recompiled : bool }
+
+type run = {
+  steps : step list;
+  prefill_latency : float;
+  total_time : float;
+  compile_time : float;
+  tokens_per_second : float;
+  recompilations : int;
+}
+
+let round_up v quantum = (v + quantum - 1) / quantum * quantum
+
+let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk_options
+    env cfg ~batch ~prompt_ctx ~tokens =
+  if tokens <= 0 || batch <= 0 || prompt_ctx <= 0 then
+    invalid_arg "Serve.serve: nonpositive workload parameter";
+  if design = B.Ideal then invalid_arg "Serve.serve: Ideal has no executable plan";
+  let chips = env.D.pod.Elk_arch.Arch.chips in
+  (* Cache of (plan context length -> (latency, compile seconds)). *)
+  let plans = Hashtbl.create 8 in
+  let plan_for ctx_len =
+    match Hashtbl.find_opt plans ctx_len with
+    | Some entry -> (entry, false)
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let graph = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch; ctx = ctx_len }) in
+        let latency =
+          match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
+          | Some s ->
+              let r = Elk_sim.Sim.run env.D.ctx s in
+              r.Elk_sim.Sim.total
+              +. Elk.Sharding.allreduce_time env.D.pod
+                   (Elk.Sharding.shard_graph ~chips graph)
+          | None -> invalid_arg "Serve.serve: design produced no plan"
+        in
+        let entry = (latency, Unix.gettimeofday () -. t0) in
+        Hashtbl.add plans ctx_len entry;
+        (entry, true)
+  in
+  let extra_compile = ref 0. in
+  let prefill_latency =
+    if not prefill then 0.
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let graph = Elk_model.Zoo.build cfg (Elk_model.Zoo.Prefill { batch; seq = prompt_ctx }) in
+      let latency =
+        match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
+        | Some s ->
+            let r = Elk_sim.Sim.run env.D.ctx s in
+            r.Elk_sim.Sim.total
+            +. Elk.Sharding.allreduce_time env.D.pod
+                 (Elk.Sharding.shard_graph ~chips graph)
+        | None -> invalid_arg "Serve.serve: design produced no prefill plan"
+      in
+      extra_compile := Unix.gettimeofday () -. t0;
+      latency
+    end
+  in
+  let steps = ref [] in
+  for token = 0 to tokens - 1 do
+    let ctx = prompt_ctx + token in
+    let plan_ctx = round_up (max 1 ctx) recompile_every in
+    let (latency, _), recompiled = plan_for plan_ctx in
+    steps := { token; ctx; latency; recompiled } :: !steps
+  done;
+  let steps = List.rev !steps in
+  let total_time = List.fold_left (fun a s -> a +. s.latency) 0. steps in
+  let compile_time = !extra_compile +. Hashtbl.fold (fun _ (_, c) a -> a +. c) plans 0. in
+  {
+    steps;
+    prefill_latency;
+    total_time;
+    compile_time;
+    tokens_per_second = (if total_time > 0. then float_of_int tokens /. total_time else 0.);
+    recompilations = Hashtbl.length plans;
+  }
+
+let time_to_first_token r =
+  r.prefill_latency +. (match r.steps with s :: _ -> s.latency | [] -> 0.)
+
+let mean_latency r =
+  match r.steps with
+  | [] -> 0.
+  | steps -> r.total_time /. float_of_int (List.length steps)
+
+let last_latency r =
+  match List.rev r.steps with [] -> 0. | s :: _ -> s.latency
+
+let pp_run fmt r =
+  Format.fprintf fmt
+    "%d tokens in %a (%.0f tok/s), %d plan(s) compiled in %.2fs, latency %a -> %a"
+    (List.length r.steps) Elk_util.Units.pp_time r.total_time r.tokens_per_second
+    r.recompilations r.compile_time Elk_util.Units.pp_time
+    (match r.steps with [] -> 0. | s :: _ -> s.latency)
+    Elk_util.Units.pp_time (last_latency r)

@@ -1,0 +1,58 @@
+(** Multi-token serving: autoregressive decoding as a system-level loop.
+
+    The paper evaluates single decode steps; a serving system generates
+    many tokens, and the KV cache — hence every attention operator's shape
+    and HBM volume — grows each step.  This module drives that loop: it
+    compiles a plan for the current context length, simulates decode steps
+    with it, and recompiles when the context has grown enough that the
+    plan's shapes are stale (amortizing Elk's compile time across steps,
+    exactly how a deployment would run it).
+
+    The result quantifies end-to-end serving: tokens/second over a whole
+    generation, the latency growth as the KV cache fills, and how many
+    recompilations the run needed. *)
+
+type step = {
+  token : int;  (** 0-based generated-token index. *)
+  ctx : int;  (** KV length the step ran with. *)
+  latency : float;  (** simulated step latency incl. all-reduce. *)
+  recompiled : bool;  (** a fresh plan was compiled for this step. *)
+}
+
+type run = {
+  steps : step list;
+  prefill_latency : float;
+      (** simulated prefill-phase latency (0 when [prefill] was false). *)
+  total_time : float;  (** sum of decode-step latencies. *)
+  compile_time : float;  (** total wall-clock spent compiling. *)
+  tokens_per_second : float;  (** steps / total_time (excl. compile). *)
+  recompilations : int;
+}
+
+val serve :
+  ?design:Elk_baselines.Baselines.design ->
+  ?recompile_every:int ->
+  ?prefill:bool ->
+  ?elk_options:Elk.Compile.options ->
+  Elk_dse.Dse.env ->
+  Elk_model.Zoo.config ->
+  batch:int ->
+  prompt_ctx:int ->
+  tokens:int ->
+  run
+(** Generate [tokens] tokens for a [batch] of requests whose prompt
+    occupies [prompt_ctx] KV entries.  A plan is compiled for context
+    lengths rounded up to the next [recompile_every] boundary (default
+    64), so shapes are always sufficient and plans are reused across
+    steps.  With [prefill] (default false) the prompt is first processed
+    through a prefill-phase plan, giving a time-to-first-token.  [design]
+    defaults to [Elk_full].  Raises [Invalid_argument] for nonpositive
+    [tokens]/[batch]/[prompt_ctx]. *)
+
+val time_to_first_token : run -> float
+(** [prefill_latency] plus the first decode step's latency. *)
+
+val mean_latency : run -> float
+val last_latency : run -> float
+
+val pp_run : Format.formatter -> run -> unit

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Arch Array Elk Elk_arch Elk_cost Elk_hbm Elk_model Elk_noc Elk_partition Elk_tensor Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Elk Elk_partition

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Elk_model Elk_tensor List Printf Sim String

@@ -1,0 +1,84 @@
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us t = t *. 1e6
+
+(* One complete event ("ph":"X"): name, track (tid), start, duration. *)
+let event ~name ~tid ~start ~dur ~args =
+  let args_s =
+    match args with
+    | [] -> "{}"
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) kvs)
+        ^ "}"
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"elk\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+    (json_escape name) tid (us start) (us dur) args_s
+
+let phases (o : Sim.op_trace) =
+  [
+    ("distribute", o.Sim.exe_start, o.Sim.dist_end -. o.Sim.exe_start);
+    ("compute", o.Sim.dist_end, o.Sim.compute_end -. o.Sim.dist_end);
+    ("exchange", o.Sim.compute_end, o.Sim.exe_end -. o.Sim.compute_end);
+  ]
+  |> List.filter (fun (_, _, d) -> d > 0.)
+
+let events graph (r : Sim.result) =
+  let name i =
+    (Elk_model.Graph.get graph i).Elk_model.Graph.op.Elk_tensor.Opspec.name
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun i (o : Sim.op_trace) ->
+      if o.Sim.pre_end > o.Sim.pre_start then
+        acc :=
+          event
+            ~name:(Printf.sprintf "preload %s" (name i))
+            ~tid:1 ~start:o.Sim.pre_start
+            ~dur:(o.Sim.pre_end -. o.Sim.pre_start)
+            ~args:[ ("hbm_bytes", Printf.sprintf "%.0f" o.Sim.device_bytes) ]
+          :: !acc;
+      List.iter
+        (fun (phase, start, dur) ->
+          acc :=
+            event
+              ~name:(Printf.sprintf "%s %s" phase (name i))
+              ~tid:2 ~start ~dur ~args:[]
+            :: !acc)
+        (phases o))
+    r.Sim.per_op;
+  List.rev !acc
+
+let to_chrome_json graph r =
+  let meta =
+    [
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"HBM preload\"}}";
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"on-chip execute\"}}";
+    ]
+  in
+  "{\"traceEvents\":[\n"
+  ^ String.concat ",\n" (meta @ events graph r)
+  ^ "\n]}\n"
+
+let write_chrome_json ~path graph r =
+  let oc = open_out path in
+  output_string oc (to_chrome_json graph r);
+  close_out oc
+
+let event_count (r : Sim.result) =
+  Array.fold_left
+    (fun a (o : Sim.op_trace) ->
+      a + (if o.Sim.pre_end > o.Sim.pre_start then 1 else 0) + List.length (phases o))
+    0 r.Sim.per_op

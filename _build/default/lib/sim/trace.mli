@@ -1,0 +1,19 @@
+(** Chrome-trace export of simulation results.
+
+    Serializes an {!Sim.result} into the Chrome/Perfetto trace-event JSON
+    format (catapult "X" complete events), with one track for the HBM
+    preload channel and one for on-chip execution (split into the
+    distribute / compute / exchange phases).  Load the file at
+    [chrome://tracing] or [ui.perfetto.dev] to see exactly how a schedule
+    overlapped preload and execution — the visual equivalent of the
+    paper's Fig 18(a) breakdown. *)
+
+val to_chrome_json : Elk_model.Graph.t -> Sim.result -> string
+(** Serialize; timestamps in microseconds as the format requires. *)
+
+val write_chrome_json : path:string -> Elk_model.Graph.t -> Sim.result -> unit
+(** {!to_chrome_json} to a file. *)
+
+val event_count : Sim.result -> int
+(** Number of trace events that will be emitted (preloads with nonzero
+    duration + three phases per executed operator). *)

@@ -1,0 +1,1 @@
+lib/tensor/opspec.ml: Array Dtype Elk_util Format List Printf String

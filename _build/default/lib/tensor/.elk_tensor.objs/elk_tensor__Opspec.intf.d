@@ -1,0 +1,1 @@
+lib/tensor/opspec.mli: Dtype Format

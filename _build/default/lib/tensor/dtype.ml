@@ -1,0 +1,21 @@
+type t = Fp32 | Fp16 | Bf16 | Int8 | Int32
+
+let size_bytes = function Fp32 -> 4 | Fp16 -> 2 | Bf16 -> 2 | Int8 -> 1 | Int32 -> 4
+
+let to_string = function
+  | Fp32 -> "fp32"
+  | Fp16 -> "fp16"
+  | Bf16 -> "bf16"
+  | Int8 -> "int8"
+  | Int32 -> "int32"
+
+let of_string = function
+  | "fp32" -> Some Fp32
+  | "fp16" -> Some Fp16
+  | "bf16" -> Some Bf16
+  | "int8" -> Some Int8
+  | "int32" -> Some Int32
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let all = [ Fp32; Fp16; Bf16; Int8; Int32 ]

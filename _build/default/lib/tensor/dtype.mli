@@ -1,0 +1,22 @@
+(** Element datatypes of tensors.
+
+    The models in the paper's evaluation run in half precision; we keep the
+    datatype explicit so memory footprints and HBM volumes are computed
+    rather than assumed. *)
+
+type t = Fp32 | Fp16 | Bf16 | Int8 | Int32
+
+val size_bytes : t -> int
+(** Bytes per element. *)
+
+val to_string : t -> string
+(** Lower-case name, e.g. ["fp16"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Formatter for {!to_string}. *)
+
+val all : t list
+(** Every datatype, for exhaustive property tests. *)

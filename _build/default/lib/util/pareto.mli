@@ -1,0 +1,34 @@
+(** Pareto frontiers over (cost, value) pairs.
+
+    Elk's allocator (paper §4.3) works exclusively on Pareto-optimal
+    partition plans: for the executing operator the two objectives are
+    (memory footprint, execution time); for a preloaded operator they are
+    (preload space, data-distribution time).  This module computes and
+    manipulates such two-objective frontiers generically: a point is kept
+    iff no other point is at least as good on both axes and strictly better
+    on one. *)
+
+type 'a point = { x : float; y : float; payload : 'a }
+(** A candidate with two minimized objectives [x] and [y] and an arbitrary
+    payload (e.g. a partition plan). *)
+
+val frontier : 'a point list -> 'a point list
+(** [frontier pts] returns the Pareto-optimal subset of [pts], sorted by
+    increasing [x] (hence decreasing [y]).  Duplicate-dominated points are
+    dropped; among points with equal [x] only the smallest [y] survives,
+    and ties on both axes keep the first occurrence. *)
+
+val is_frontier : 'a point list -> bool
+(** [is_frontier pts] checks that [pts] is sorted by strictly increasing
+    [x] and strictly decreasing [y] — the canonical frontier shape. *)
+
+val best_y_under_x : 'a point list -> float -> 'a point option
+(** [best_y_under_x frontier budget] returns the point with the smallest
+    [y] among those with [x <= budget], if any.  On a canonical frontier
+    this is the rightmost point that still fits. *)
+
+val min_x : 'a point list -> 'a point option
+(** Point with the smallest [x] (cheapest). [None] on the empty list. *)
+
+val min_y : 'a point list -> 'a point option
+(** Point with the smallest [y] (fastest). [None] on the empty list. *)

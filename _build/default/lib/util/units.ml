@@ -1,0 +1,31 @@
+let kib x = x *. 1024.
+let mib x = x *. 1024. *. 1024.
+let gib x = x *. 1024. *. 1024. *. 1024.
+let kb x = x *. 1e3
+let mb x = x *. 1e6
+let gb x = x *. 1e9
+let tb x = x *. 1e12
+let gbps x = x *. 1e9
+let tbps x = x *. 1e12
+let tflops x = x *. 1e12
+let us x = x *. 1e-6
+let ms x = x *. 1e-3
+let ns x = x *. 1e-9
+
+let pp_scaled suffixes step fmt v =
+  let rec go v = function
+    | [ last ] -> Format.fprintf fmt "%.2f%s" v last
+    | s :: rest -> if Float.abs v < step then Format.fprintf fmt "%.2f%s" v s else go (v /. step) rest
+    | [] -> assert false
+  in
+  go v suffixes
+
+let pp_bytes fmt v = pp_scaled [ "B"; "KB"; "MB"; "GB"; "TB" ] 1e3 fmt v
+let pp_bandwidth fmt v = pp_scaled [ "B/s"; "KB/s"; "MB/s"; "GB/s"; "TB/s" ] 1e3 fmt v
+let pp_flops fmt v = pp_scaled [ "FLOP/s"; "KFLOP/s"; "MFLOP/s"; "GFLOP/s"; "TFLOP/s" ] 1e3 fmt v
+
+let pp_time fmt v =
+  if Float.abs v >= 1. then Format.fprintf fmt "%.3fs"  v
+  else if Float.abs v >= 1e-3 then Format.fprintf fmt "%.3fms" (v *. 1e3)
+  else if Float.abs v >= 1e-6 then Format.fprintf fmt "%.3fus" (v *. 1e6)
+  else Format.fprintf fmt "%.1fns" (v *. 1e9)

@@ -1,0 +1,57 @@
+(** Unit helpers and conversions used across the Elk code base.
+
+    All internal quantities use SI base units: bytes for capacity, seconds
+    for time, bytes-per-second for bandwidth and FLOP/s for compute rate.
+    The helpers here only exist to make constants readable and output
+    printable. *)
+
+val kib : float -> float
+(** [kib x] is [x] kibibytes expressed in bytes. *)
+
+val mib : float -> float
+(** [mib x] is [x] mebibytes expressed in bytes. *)
+
+val gib : float -> float
+(** [gib x] is [x] gibibytes expressed in bytes. *)
+
+val kb : float -> float
+(** [kb x] is [x] kilobytes (10^3) in bytes. *)
+
+val mb : float -> float
+(** [mb x] is [x] megabytes (10^6) in bytes. *)
+
+val gb : float -> float
+(** [gb x] is [x] gigabytes (10^9) in bytes. *)
+
+val tb : float -> float
+(** [tb x] is [x] terabytes (10^12) in bytes. *)
+
+val gbps : float -> float
+(** [gbps x] is [x] GB/s expressed in bytes per second. *)
+
+val tbps : float -> float
+(** [tbps x] is [x] TB/s expressed in bytes per second. *)
+
+val tflops : float -> float
+(** [tflops x] is [x] TFLOP/s expressed in FLOP per second. *)
+
+val us : float -> float
+(** [us x] is [x] microseconds in seconds. *)
+
+val ms : float -> float
+(** [ms x] is [x] milliseconds in seconds. *)
+
+val ns : float -> float
+(** [ns x] is [x] nanoseconds in seconds. *)
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Pretty-print a byte quantity with a human-readable suffix. *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Pretty-print a duration in the most readable unit. *)
+
+val pp_bandwidth : Format.formatter -> float -> unit
+(** Pretty-print a bandwidth in B/s with a readable suffix. *)
+
+val pp_flops : Format.formatter -> float -> unit
+(** Pretty-print a compute rate in FLOP/s with a readable suffix. *)

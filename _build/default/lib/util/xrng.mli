@@ -1,0 +1,32 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every stochastic component in this repository — the synthetic cost-model
+    profiler, workload generators, property tests' auxiliary data — draws
+    from an explicit [Xrng.t] so that experiments are reproducible run to
+    run and independent of evaluation order.  The generator is the standard
+    SplitMix64 mixer. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniformly pick one element.  Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Elk_arch List QCheck2 Tu

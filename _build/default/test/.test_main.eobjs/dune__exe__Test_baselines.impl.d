@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Elk Elk_arch Elk_baselines Elk_partition Lazy List Tu

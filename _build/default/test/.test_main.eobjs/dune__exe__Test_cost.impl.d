@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Arch Costmodel Device Elk_arch Elk_cost Elk_util Float Lazy Linear_tree List Tu

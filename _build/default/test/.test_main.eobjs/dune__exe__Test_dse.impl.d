@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Dse Elk Elk_arch Elk_baselines Elk_dse Elk_model Elk_sim Lazy List Tu

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Elk Elk_arch Elk_baselines Elk_energy Elk_model Elk_partition Elk_pipeline Elk_sim Filename Graph Lazy List Printf Result String Sys Tu

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Array Elk Elk_baselines Elk_dse Elk_model Elk_tensor Graph Lazy List String Tu Zoo

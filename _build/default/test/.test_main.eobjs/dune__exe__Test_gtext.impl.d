@@ -1,0 +1,1 @@
+test/test_gtext.ml: Alcotest Elk Elk_model Elk_tensor Graph Gtext Lazy List Printf QCheck2 String Tu Zoo

@@ -1,0 +1,1 @@
+test/test_hbm.ml: Alcotest Elk_hbm Hbm List QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Elk Elk_arch Elk_baselines Elk_cost Elk_dse Elk_model Elk_partition Elk_sim Graph Lazy List Tu

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Elk Elk_model Elk_tensor Graph Lazy List Opspec Printf QCheck2 Tu Zoo

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Arch Elk_arch Elk_noc Float List Noc QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_opsplit.ml: Alcotest Array Elk Elk_arch Elk_model Elk_partition Elk_tensor Graph Lazy List Opspec Tu

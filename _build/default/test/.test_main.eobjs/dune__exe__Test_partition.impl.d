@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Elk_arch Elk_partition Elk_tensor Elk_util Float Lazy List Opspec Pareto Partition QCheck2 Tu

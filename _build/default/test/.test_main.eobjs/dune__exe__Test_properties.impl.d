@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Elk Elk_arch Elk_hbm Elk_model Elk_partition Elk_tensor Elk_util Float Graph Gtext Lazy Printf QCheck2 Tu

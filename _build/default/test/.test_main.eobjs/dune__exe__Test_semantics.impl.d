@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Elk Elk_arch Elk_model Elk_partition Elk_sim Elk_tensor Elk_util Graph Lazy List Opspec Printf QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_serve.ml: Alcotest Elk_baselines Elk_dse Elk_model Elk_serve Lazy List Serve Tu

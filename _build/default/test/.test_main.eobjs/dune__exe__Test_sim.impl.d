@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Elk Elk_model Elk_sim Lazy Sim Tu

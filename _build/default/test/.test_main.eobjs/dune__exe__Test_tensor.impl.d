@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Dtype Elk_tensor List Opspec QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Elk_util Float Format List Pareto QCheck2 Series Stats String Table Tu Units Xrng

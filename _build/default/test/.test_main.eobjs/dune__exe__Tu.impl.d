@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Elk Elk_arch Elk_cost Elk_model Elk_partition Elk_tensor Float Lazy QCheck2 QCheck_alcotest

@@ -1,0 +1,4 @@
+  $ ../../bin/elk_cli.exe info -m llama2-13b --scale 8 -b 32
+  $ ../../bin/elk_cli.exe info -m dit-xl --scale 8 -b 2
+  $ ../../bin/elk_cli.exe program -m llama2-13b --scale 8 -d basic --limit 6
+  $ ../../bin/elk_cli.exe info -m gpt-5 2>&1 | head -2

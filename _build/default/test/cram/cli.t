@@ -1,0 +1,26 @@
+Model info is deterministic and reflects the published configs.
+
+  $ ../../bin/elk_cli.exe info -m llama2-13b --scale 8 -b 32
+  model llama2-13b/8x10: 87 ops, 1.52 GFLOPs, 128.72MB HBM, 4 layers
+  HBM-heavy operators: 21 (threshold 1.48MB)
+
+  $ ../../bin/elk_cli.exe info -m dit-xl --scale 8 -b 2
+  model dit-xl/8x10: 29 ops, 0.676 GFLOPs, 1.51MB HBM, 2 layers
+  HBM-heavy operators: 8 (threshold 52.01KB)
+
+The Basic design's device program interleaves one preload per execute.
+
+  $ ../../bin/elk_cli.exe program -m llama2-13b --scale 8 -d basic --limit 6
+  preload_async(op=0)
+  preload_async(op=1)
+  execute(op=0)
+  preload_async(op=2)
+  execute(op=1)
+  preload_async(op=3)
+  ... (168 more instructions)
+
+Unknown models are rejected with the available list.
+
+  $ ../../bin/elk_cli.exe info -m gpt-5 2>&1 | head -2
+  elk_cli: option '-m': unknown model "gpt-5" (try llama2-13b, gemma2-27b,
+           opt-30b, llama2-70b, dit-xl, mixtral-8x7b)

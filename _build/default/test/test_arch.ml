@@ -1,0 +1,119 @@
+open Elk_arch
+
+let chip () = Arch.Presets.scaled_chip ()
+
+let test_presets_valid () =
+  List.iter
+    (fun c ->
+      match Arch.validate_chip c with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invalid preset: %s" m)
+    [
+      Arch.Presets.ipu_mk2_full;
+      Arch.Presets.scaled_chip ();
+      Arch.Presets.scaled_chip ~cores:16 ~topology_kind:`Mesh ();
+    ]
+
+let test_ipu_mk2_numbers () =
+  let c = Arch.Presets.ipu_mk2_full in
+  Alcotest.(check int) "cores" 1472 c.Arch.cores;
+  Tu.check_rel "sram/core 624KB" ~tolerance:1e-6 (624. *. 1024.) c.Arch.sram_per_core;
+  (* The paper's 8 TB/s aggregate all-to-all bandwidth. *)
+  Tu.check_rel "aggregate ~8TB/s" ~tolerance:0.02 8.1e12 (Arch.aggregate_intercore_bw c);
+  (* 1000 TFLOPS matmul for a 4-chip pod. *)
+  Tu.check_rel "pod matmul flops" ~tolerance:1e-6 1000e12
+    (Arch.pod_matmul_flops Arch.Presets.ipu_pod4_full);
+  Tu.check_rel "pod vector flops" ~tolerance:1e-6 31.2e12
+    (Arch.pod_vector_flops Arch.Presets.ipu_pod4_full);
+  (* 128 bits per 1.325 GHz cycle. *)
+  Tu.check_rel "sram bw" ~tolerance:1e-6 (16. *. 1.325e9) c.Arch.sram_bw_per_core
+
+let test_pod4_hbm () =
+  Tu.check_rel "16 TB/s pod HBM" ~tolerance:1e-6 16e12
+    (Arch.pod_hbm_bandwidth Arch.Presets.ipu_pod4_full)
+
+let test_usable_sram () =
+  let c = chip () in
+  Tu.check_float "usable = sram - netbuf"
+    (c.Arch.sram_per_core -. c.Arch.net_buffer_per_core)
+    (Arch.usable_sram_per_core c);
+  Tu.check_float "chip sram"
+    (Arch.usable_sram_per_core c *. float_of_int c.Arch.cores)
+    (Arch.chip_sram c)
+
+let test_validate_rejects () =
+  let c = chip () in
+  let bad cfg = match Arch.validate_chip cfg with Ok () -> Alcotest.fail "expected error" | Error _ -> () in
+  bad { c with Arch.cores = 0 };
+  bad { c with Arch.sram_per_core = 0. };
+  bad { c with Arch.net_buffer_per_core = c.Arch.sram_per_core };
+  bad { c with Arch.matmul_flops_per_core = 0. };
+  bad { c with Arch.hbm_bandwidth = -1. };
+  bad { c with Arch.hbm_controllers = 0 };
+  bad { c with Arch.topology = Arch.Mesh2d { rows = 3; cols = 3 } }
+
+let test_mesh_dims () =
+  Alcotest.(check (pair int int)) "64" (8, 8) (Arch.mesh_dims ~cores:64);
+  Alcotest.(check (pair int int)) "12" (3, 4) (Arch.mesh_dims ~cores:12);
+  Alcotest.(check (pair int int)) "7 prime" (1, 7) (Arch.mesh_dims ~cores:7);
+  Alcotest.(check (pair int int)) "1472" (32, 46) (Arch.mesh_dims ~cores:1472);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Arch.mesh_dims ~cores:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_with_topology () =
+  let c = chip () in
+  let m = Arch.with_topology c (Arch.Mesh2d { rows = 8; cols = 8 }) in
+  Alcotest.(check bool) "is mesh" true (m.Arch.topology = Arch.Mesh2d { rows = 8; cols = 8 });
+  Alcotest.(check bool) "bad mesh raises" true
+    (try
+       ignore (Arch.with_topology c (Arch.Mesh2d { rows = 5; cols = 5 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_with_cores_scaling () =
+  let c = chip () in
+  let big = Arch.with_cores c ~cores:256 ~hbm_bw_per_core:2.7e9 in
+  Alcotest.(check int) "cores" 256 big.Arch.cores;
+  Tu.check_rel "hbm scales per core" ~tolerance:1e-9 (256. *. 2.7e9) big.Arch.hbm_bandwidth;
+  Tu.check_float "per-core rates preserved" c.Arch.matmul_flops_per_core
+    big.Arch.matmul_flops_per_core;
+  (* Mesh chips get re-derived dimensions. *)
+  let m = Arch.with_cores (Arch.Presets.scaled_chip ~topology_kind:`Mesh ()) ~cores:144 ~hbm_bw_per_core:2.7e9 in
+  Alcotest.(check bool) "mesh rederived" true (m.Arch.topology = Arch.Mesh2d { rows = 12; cols = 12 })
+
+let test_scaled_preserves_ratios () =
+  (* The scaled default must preserve the paper's per-core HBM share
+     (16 TB/s over 5888 cores = ~2.7 GB/s/core). *)
+  let full_per_core = 16e12 /. 5888. in
+  let c = chip () in
+  Tu.check_rel "hbm per core" ~tolerance:1e-6 full_per_core
+    (c.Arch.hbm_bandwidth /. float_of_int c.Arch.cores);
+  (* And the inter-chip : intra-chip bandwidth ratio. *)
+  let pod = Arch.Presets.scaled_pod () in
+  let full_ratio = 640e9 /. Arch.aggregate_intercore_bw Arch.Presets.ipu_mk2_full in
+  Tu.check_rel "interchip ratio" ~tolerance:1e-6 full_ratio
+    (pod.Arch.interchip_bandwidth /. Arch.aggregate_intercore_bw pod.Arch.chip)
+
+let qcheck_with_cores_valid =
+  Tu.qtest ~count:40 "arch: with_cores yields valid chips"
+    QCheck2.Gen.(int_range 4 512)
+    (fun cores ->
+      let c = Arch.with_cores (chip ()) ~cores ~hbm_bw_per_core:2.7e9 in
+      Arch.validate_chip c = Ok ())
+
+let suite =
+  [
+    ("arch: presets valid", `Quick, test_presets_valid);
+    ("arch: IPU MK2 numbers", `Quick, test_ipu_mk2_numbers);
+    ("arch: POD4 HBM", `Quick, test_pod4_hbm);
+    ("arch: usable sram", `Quick, test_usable_sram);
+    ("arch: validation rejects", `Quick, test_validate_rejects);
+    ("arch: mesh dims", `Quick, test_mesh_dims);
+    ("arch: with_topology", `Quick, test_with_topology);
+    ("arch: with_cores scaling", `Quick, test_with_cores_scaling);
+    ("arch: scaled preset ratios", `Quick, test_scaled_preserves_ratios);
+    qcheck_with_cores_valid;
+  ]

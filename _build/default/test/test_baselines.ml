@@ -1,0 +1,113 @@
+open Elk_baselines
+
+let ctx () = Lazy.force Tu.default_ctx
+let pod () = Lazy.force Tu.default_pod
+let model () = Lazy.force Tu.tiny_llama
+let chip_graph () = Lazy.force Tu.tiny_llama_chip_graph
+
+let test_names_distinct () =
+  let names = List.map Baselines.name Baselines.all in
+  Alcotest.(check int) "5 designs" 5 (List.length (List.sort_uniq compare names))
+
+let test_basic_schedule_valid () =
+  let s = Baselines.basic_schedule (ctx ()) (chip_graph ()) in
+  match Elk.Schedule.validate s with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_basic_preloads_one_ahead () =
+  let s = Baselines.basic_schedule (ctx ()) (chip_graph ()) in
+  (* Basic's defining property: every window is exactly one preload. *)
+  Array.iteri
+    (fun i w -> if i < Elk.Schedule.num_ops s then Alcotest.(check int) "window of 1" 1 w)
+    (Array.sub s.Elk.Schedule.windows 0 (Elk.Schedule.num_ops s))
+
+let test_static_schedule_valid () =
+  let cap = Elk_arch.Arch.usable_sram_per_core (pod ()).Elk_arch.Arch.chip in
+  match
+    Baselines.static_schedule (ctx ()) (chip_graph ()) ~preload_budget:(0.4 *. cap)
+      ~use_max_popt:true
+  with
+  | Some s -> (
+      match Elk.Schedule.validate s with Ok () -> () | Error m -> Alcotest.fail m)
+  | None -> Alcotest.fail "static 40% budget must fit"
+
+let test_static_huge_budget_none () =
+  let cap = Elk_arch.Arch.usable_sram_per_core (pod ()).Elk_arch.Arch.chip in
+  (* With 99.9% of SRAM reserved for preload, no execution plan fits. *)
+  Alcotest.(check bool) "none" true
+    (Baselines.static_schedule (ctx ()) (chip_graph ()) ~preload_budget:(0.999 *. cap)
+       ~use_max_popt:false
+    = None)
+
+let test_static_min_popt_variant () =
+  let cap = Elk_arch.Arch.usable_sram_per_core (pod ()).Elk_arch.Arch.chip in
+  match
+    Baselines.static_schedule (ctx ()) (chip_graph ()) ~preload_budget:(0.4 *. cap)
+      ~use_max_popt:false
+  with
+  | Some s ->
+      (* Min-popt means nothing is broadcast beyond the minimum share. *)
+      Array.iter
+        (fun e ->
+          let p = e.Elk.Schedule.popt in
+          Alcotest.(check bool) "min option" true
+            (p.Elk_partition.Partition.frac <= 1.0))
+        s.Elk.Schedule.entries
+  | None -> Alcotest.fail "should fit"
+
+let run design = Baselines.run (ctx ()) ~pod:(pod ()) (model ()) design
+
+let test_all_designs_run () =
+  List.iter
+    (fun d ->
+      let o = run d in
+      Alcotest.(check bool) (Baselines.name d ^ " positive") true (o.Baselines.latency > 0.);
+      Alcotest.(check bool) "utils sane" true
+        (o.Baselines.hbm_util >= 0. && o.Baselines.hbm_util <= 1.001))
+    Baselines.all
+
+let test_ideal_is_fastest () =
+  let ideal = (run Baselines.Ideal).Baselines.latency in
+  List.iter
+    (fun d ->
+      if d <> Baselines.Ideal then
+        Alcotest.(check bool)
+          (Baselines.name d ^ " >= ideal")
+          true
+          ((run d).Baselines.latency >= ideal *. 0.98))
+    Baselines.all
+
+let test_elk_beats_basic () =
+  let basic = (run Baselines.Basic).Baselines.latency in
+  let elk = (run Baselines.Elk_dyn).Baselines.latency in
+  Alcotest.(check bool) "elk-dyn <= basic" true (elk <= basic *. 1.001)
+
+let test_plan_returns_schedules () =
+  List.iter
+    (fun d ->
+      match Baselines.plan (ctx ()) ~pod:(pod ()) (model ()) d with
+      | Some s -> (
+          match Elk.Schedule.validate s with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s: %s" (Baselines.name d) m)
+      | None -> Alcotest.(check bool) "only ideal is planless" true (d = Baselines.Ideal))
+    Baselines.all
+
+let test_ideal_has_no_timeline () =
+  Alcotest.(check bool) "ideal analytic" true ((run Baselines.Ideal).Baselines.timeline = None);
+  Alcotest.(check bool) "basic has timeline" true
+    ((run Baselines.Basic).Baselines.timeline <> None)
+
+let suite =
+  [
+    ("baselines: names", `Quick, test_names_distinct);
+    ("baselines: basic valid", `Quick, test_basic_schedule_valid);
+    ("baselines: basic one-ahead", `Quick, test_basic_preloads_one_ahead);
+    ("baselines: static valid", `Quick, test_static_schedule_valid);
+    ("baselines: static infeasible budget", `Quick, test_static_huge_budget_none);
+    ("baselines: static min-popt", `Quick, test_static_min_popt_variant);
+    ("baselines: all designs run", `Slow, test_all_designs_run);
+    ("baselines: ideal fastest", `Slow, test_ideal_is_fastest);
+    ("baselines: elk beats basic", `Slow, test_elk_beats_basic);
+    ("baselines: plans validate", `Slow, test_plan_returns_schedules);
+    ("baselines: ideal analytic", `Quick, test_ideal_has_no_timeline);
+  ]

@@ -1,0 +1,236 @@
+open Elk_cost
+open Elk_arch
+
+let chip () = Arch.Presets.scaled_chip ()
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_tile_bytes_matmul () =
+  Tu.check_float "matmul" (2. *. ((4. *. 16.) +. (16. *. 8.) +. (4. *. 8.)))
+    (Device.tile_bytes ~kind:"matmul" ~iter:[| 4; 8; 16 |])
+
+let test_tile_bytes_bmm () =
+  Tu.check_float "bmm" (2. *. 2. *. ((3. *. 5.) +. (5. *. 4.) +. (3. *. 4.)))
+    (Device.tile_bytes ~kind:"batch_matmul" ~iter:[| 2; 3; 4; 5 |])
+
+let test_tile_bytes_pointwise () =
+  Tu.check_float "softmax" (2. *. 2. *. 8. *. 16.)
+    (Device.tile_bytes ~kind:"softmax" ~iter:[| 8; 16 |])
+
+let test_tile_flops () =
+  Tu.check_float "matmul fpp 2" (2. *. 32.) (Device.tile_flops ~kind:"matmul" ~iter:[| 4; 4; 2 |]);
+  Tu.check_float "softmax fpp 5" (5. *. 32.) (Device.tile_flops ~kind:"softmax" ~iter:[| 4; 8 |])
+
+let test_kind_classes () =
+  Alcotest.(check bool) "matmul" true (Device.is_matmul_kind "matmul");
+  Alcotest.(check bool) "bmm" true (Device.is_matmul_kind "batch_matmul");
+  Alcotest.(check bool) "softmax" false (Device.is_matmul_kind "softmax")
+
+let test_exec_time_positive_overhead () =
+  let c = chip () in
+  let t = Device.exec_time c ~kind:"matmul" ~iter:[| 1; 1; 1 |] in
+  Alcotest.(check bool) "at least launch overhead" true (t >= 6e-7)
+
+let test_exec_time_monotone_in_size () =
+  let c = chip () in
+  let t1 = Device.exec_time c ~kind:"matmul" ~iter:[| 16; 16; 16 |] in
+  let t2 = Device.exec_time c ~kind:"matmul" ~iter:[| 64; 64; 64 |] in
+  Alcotest.(check bool) "bigger slower" true (t2 > t1)
+
+let test_exec_time_large_tiles_efficient () =
+  (* A large aligned matmul tile should achieve most of peak. *)
+  let c = chip () in
+  let iter = [| 128; 128; 128 |] in
+  let t = Device.exec_time c ~kind:"matmul" ~iter in
+  let ideal = Device.tile_flops ~kind:"matmul" ~iter /. c.Arch.matmul_flops_per_core in
+  Alcotest.(check bool) "above 80% of peak" true (ideal /. t > 0.8)
+
+let test_alignment_penalty () =
+  let c = chip () in
+  let aligned = Device.exec_time c ~kind:"matmul" ~iter:[| 64; 64; 64 |] in
+  let misaligned = Device.exec_time c ~kind:"matmul" ~iter:[| 64; 63; 63 |] in
+  (* Fewer points but slower rate: per-flop time must be worse. *)
+  let per_flop t iter = t /. Device.tile_flops ~kind:"matmul" ~iter in
+  Alcotest.(check bool) "misaligned pays" true
+    (per_flop misaligned [| 64; 63; 63 |] > per_flop aligned [| 64; 64; 64 |])
+
+let test_vector_kind_slower () =
+  let c = chip () in
+  let mm = Device.exec_time c ~kind:"matmul" ~iter:[| 64; 64; 4 |] in
+  let sm = Device.exec_time c ~kind:"softmax" ~iter:[| 64; 256 |] in
+  (* Same point count; softmax runs on the much slower vector pipeline and
+     does more flops/point. *)
+  Alcotest.(check bool) "vector slower" true (sm > mm)
+
+let test_measured_noise_bounded_deterministic () =
+  let c = chip () in
+  let iter = [| 32; 32; 32 |] in
+  let base = Device.exec_time c ~kind:"matmul" ~iter in
+  let m1 = Device.measured_exec_time c ~kind:"matmul" ~iter in
+  let m2 = Device.measured_exec_time c ~kind:"matmul" ~iter in
+  Tu.check_float "deterministic" m1 m2;
+  Alcotest.(check bool) "within 6%" true (Float.abs (m1 -. base) <= 0.0601 *. base)
+
+let test_exec_time_rejects_bad_iter () =
+  let c = chip () in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Device.exec_time c ~kind:"matmul" ~iter:[||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero raises" true
+    (try
+       ignore (Device.exec_time c ~kind:"matmul" ~iter:[| 0; 1; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Linear tree                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_fits_linear_exactly () =
+  let samples = List.init 100 (fun i -> ([| float_of_int i |], (2. *. float_of_int i) +. 5.)) in
+  let t = Linear_tree.fit samples in
+  Alcotest.(check bool) "small error" true (Linear_tree.mape_on t samples < 0.01);
+  Tu.check_close ~eps:1e-3 "interpolates" 25. (Linear_tree.predict t [| 10. |])
+
+let test_tree_splits_piecewise () =
+  (* Piecewise function: a single linear model cannot fit; splits must. *)
+  let f x = if x < 50. then x else 1000. -. (3. *. x) in
+  let samples = List.init 200 (fun i -> ([| float_of_int i |], f (float_of_int i))) in
+  let t = Linear_tree.fit samples in
+  Alcotest.(check bool) "has splits" true (Linear_tree.depth t >= 1);
+  Alcotest.(check bool) "good fit" true (Linear_tree.mape_on t samples < 0.05)
+
+let test_tree_max_depth_respected () =
+  let samples =
+    List.init 256 (fun i -> ([| float_of_int i |], float_of_int ((i * 37) mod 101)))
+  in
+  let t = Linear_tree.fit ~max_depth:2 samples in
+  Alcotest.(check bool) "depth <= 2" true (Linear_tree.depth t <= 2);
+  Alcotest.(check bool) "leaves <= 4" true (Linear_tree.leaves t <= 4)
+
+let test_tree_single_leaf_on_constant () =
+  let samples = List.init 50 (fun i -> ([| float_of_int i |], 7.)) in
+  let t = Linear_tree.fit samples in
+  Alcotest.(check int) "one leaf" 1 (Linear_tree.leaves t);
+  Tu.check_close ~eps:1e-6 "constant" 7. (Linear_tree.predict t [| 123. |])
+
+let test_tree_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Linear_tree.fit: no samples") (fun () ->
+      ignore (Linear_tree.fit []));
+  let t = Linear_tree.fit [ ([| 1.; 2. |], 3.) ] in
+  Alcotest.check_raises "dim" (Invalid_argument "Linear_tree.predict: wrong feature dimension")
+    (fun () -> ignore (Linear_tree.predict t [| 1. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Costmodel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let trained = lazy (Costmodel.train ~samples_per_kind:600 (chip ()))
+
+let test_train_covers_kinds () =
+  let t = Lazy.force trained in
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (List.mem k (Costmodel.kinds t)))
+    [ "matmul"; "batch_matmul"; "softmax"; "rmsnorm"; "silu" ]
+
+let test_exec_accuracy_fig12 () =
+  (* The paper's Fig 12 shows tight measured-vs-predicted correlation; we
+     require MAPE under 20% and r2 above 0.9 on held-out shapes. *)
+  let t = Lazy.force trained in
+  List.iter
+    (fun kind ->
+      let pairs = Costmodel.exec_accuracy t ~kind ~n:150 in
+      let mape = Elk_util.Stats.mape pairs in
+      let r2 = Elk_util.Stats.r2 pairs in
+      if mape > 0.2 then Alcotest.failf "%s MAPE %.3f too high" kind mape;
+      if r2 < 0.9 then Alcotest.failf "%s r2 %.3f too low" kind r2)
+    [ "matmul"; "batch_matmul"; "softmax" ]
+
+let test_transfer_accuracy () =
+  let t = Lazy.force trained in
+  let pairs = Costmodel.transfer_accuracy t ~n:150 in
+  Alcotest.(check bool) "MAPE < 15%" true (Elk_util.Stats.mape pairs < 0.15)
+
+let test_predictions_positive () =
+  let t = Lazy.force trained in
+  let rng = Elk_util.Xrng.create 3 in
+  for _ = 1 to 100 do
+    let iter = Costmodel.random_tile rng ~chip:(chip ()) ~kind:"matmul" in
+    Alcotest.(check bool) "positive" true (Costmodel.predict_exec t ~kind:"matmul" ~iter > 0.)
+  done
+
+let test_unknown_kind_falls_back () =
+  let t = Lazy.force trained in
+  let p = Costmodel.predict_exec t ~kind:"mystery" ~iter:[| 8; 8 |] in
+  Tu.check_float "falls back to device model" (Device.exec_time (chip ()) ~kind:"mystery" ~iter:[| 8; 8 |]) p
+
+let test_transfer_monotone () =
+  let t = Lazy.force trained in
+  let t1 = Costmodel.predict_transfer t ~hops:2 ~bytes:1e3 in
+  let t2 = Costmodel.predict_transfer t ~hops:2 ~bytes:5e5 in
+  Alcotest.(check bool) "monotone" true (t2 > t1);
+  Tu.check_float "zero bytes" 0. (Costmodel.predict_transfer t ~hops:2 ~bytes:0.)
+
+let test_hbm_time_roofline () =
+  let t = Lazy.force trained in
+  let c = chip () in
+  let bytes = 32e6 in
+  let time = Costmodel.hbm_time t ~bytes in
+  (* Large sequential reads achieve 85-100% of chip HBM bandwidth. *)
+  let floor = bytes /. c.Arch.hbm_bandwidth in
+  Alcotest.(check bool) "above physical floor" true (time >= floor *. 0.999);
+  Alcotest.(check bool) "within 1.3x of floor" true (time <= 1.3 *. floor);
+  Tu.check_float "zero" 0. (Costmodel.hbm_time t ~bytes:0.)
+
+let test_ideal_exec_time_scales () =
+  let c = chip () in
+  let op = Tu.matmul_op in
+  let t64 = Costmodel.ideal_exec_time c op ~cores:64 in
+  let t256 = Costmodel.ideal_exec_time c op ~cores:256 in
+  Tu.check_rel "4x cores -> 4x faster" ~tolerance:1e-6 (t64 /. 4.) t256
+
+let test_random_tile_fits_sram () =
+  let c = chip () in
+  let rng = Elk_util.Xrng.create 9 in
+  for _ = 1 to 200 do
+    List.iter
+      (fun kind ->
+        let iter = Costmodel.random_tile rng ~chip:c ~kind in
+        Alcotest.(check bool) "fits" true
+          (Device.tile_bytes ~kind ~iter <= Arch.usable_sram_per_core c))
+      [ "matmul"; "batch_matmul"; "softmax" ]
+  done
+
+let suite =
+  [
+    ("device: matmul tile bytes", `Quick, test_tile_bytes_matmul);
+    ("device: bmm tile bytes", `Quick, test_tile_bytes_bmm);
+    ("device: pointwise tile bytes", `Quick, test_tile_bytes_pointwise);
+    ("device: tile flops", `Quick, test_tile_flops);
+    ("device: kind classes", `Quick, test_kind_classes);
+    ("device: launch overhead", `Quick, test_exec_time_positive_overhead);
+    ("device: monotone in size", `Quick, test_exec_time_monotone_in_size);
+    ("device: large tiles efficient", `Quick, test_exec_time_large_tiles_efficient);
+    ("device: alignment penalty", `Quick, test_alignment_penalty);
+    ("device: vector pipeline slower", `Quick, test_vector_kind_slower);
+    ("device: measurement noise", `Quick, test_measured_noise_bounded_deterministic);
+    ("device: rejects bad iter", `Quick, test_exec_time_rejects_bad_iter);
+    ("ltree: exact linear", `Quick, test_tree_fits_linear_exactly);
+    ("ltree: piecewise splits", `Quick, test_tree_splits_piecewise);
+    ("ltree: max depth", `Quick, test_tree_max_depth_respected);
+    ("ltree: constant single leaf", `Quick, test_tree_single_leaf_on_constant);
+    ("ltree: errors", `Quick, test_tree_errors);
+    ("costmodel: kinds trained", `Quick, test_train_covers_kinds);
+    ("costmodel: Fig 12 accuracy", `Slow, test_exec_accuracy_fig12);
+    ("costmodel: transfer accuracy", `Quick, test_transfer_accuracy);
+    ("costmodel: predictions positive", `Quick, test_predictions_positive);
+    ("costmodel: unknown kind fallback", `Quick, test_unknown_kind_falls_back);
+    ("costmodel: transfer monotone", `Quick, test_transfer_monotone);
+    ("costmodel: hbm roofline", `Quick, test_hbm_time_roofline);
+    ("costmodel: ideal exec scales", `Quick, test_ideal_exec_time_scales);
+    ("costmodel: random tiles fit", `Quick, test_random_tile_fits_sram);
+  ]

@@ -1,0 +1,109 @@
+open Elk_hbm
+
+let test_hbm3e_peak () =
+  Tu.check_rel "1 TB/s module" ~tolerance:1e-9 1e12 (Hbm.peak_bandwidth Hbm.hbm3e_module)
+
+let test_config_for_bandwidth () =
+  List.iter
+    (fun bw ->
+      let c = Hbm.config_for_bandwidth bw in
+      Tu.check_rel "peak matches request" ~tolerance:1e-6 bw (Hbm.peak_bandwidth c))
+    [ 100e9; 1e12; 4e12; 16e12 ];
+  Alcotest.(check bool) "rejects nonpositive" true
+    (try
+       ignore (Hbm.config_for_bandwidth 0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_large_sequential_near_peak () =
+  (* Tensor-granularity sequential reads saturate close to peak (paper §5:
+     "HBM can easily saturate its bandwidth ... at tensor granularity"). *)
+  let t = Hbm.create Hbm.hbm3e_module in
+  let bytes = 64e6 in
+  let bw = Hbm.effective_bandwidth t ~bytes in
+  Alcotest.(check bool) "above 85% of peak" true (bw > 0.85 *. Hbm.peak_bandwidth Hbm.hbm3e_module)
+
+let test_small_reads_derated () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let bw = Hbm.effective_bandwidth t ~bytes:256. in
+  Alcotest.(check bool) "small reads far from peak" true
+    (bw < 0.05 *. Hbm.peak_bandwidth Hbm.hbm3e_module)
+
+let test_read_monotone_state () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let t1 = Hbm.read t ~now:0. ~offset:0. ~bytes:1e6 in
+  let t2 = Hbm.read t ~now:0. ~offset:1e6 ~bytes:1e6 in
+  Alcotest.(check bool) "queues behind" true (t2 > t1);
+  Alcotest.(check bool) "both positive" true (t1 > 0.)
+
+let test_read_after_idle () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let _ = Hbm.read t ~now:0. ~offset:0. ~bytes:1e6 in
+  let later = Hbm.read t ~now:1. ~offset:0. ~bytes:1e6 in
+  Alcotest.(check bool) "starts fresh after idle" true (later < 1.1)
+
+let test_read_errors () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  Alcotest.check_raises "offset" (Invalid_argument "Hbm.read: negative offset") (fun () ->
+      ignore (Hbm.read t ~now:0. ~offset:(-1.) ~bytes:10.));
+  Alcotest.check_raises "bytes" (Invalid_argument "Hbm.read: nonpositive size") (fun () ->
+      ignore (Hbm.read t ~now:0. ~offset:0. ~bytes:0.))
+
+let test_replay_sequential () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let trace = List.init 16 (fun i -> (float_of_int i *. 4e6, 4e6)) in
+  let total = Hbm.replay t trace in
+  let bytes = 16. *. 4e6 in
+  Tu.check_rel "replay ~ peak" ~tolerance:0.25 (bytes /. 1e12) total
+
+let test_stats_accumulate () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let _ = Hbm.read t ~now:0. ~offset:0. ~bytes:1e6 in
+  let _ = Hbm.read t ~now:0. ~offset:2e6 ~bytes:3e6 in
+  let s = Hbm.stats t in
+  Tu.check_float "bytes" 4e6 s.Hbm.total_bytes;
+  Alcotest.(check int) "requests" 2 s.Hbm.requests;
+  Alcotest.(check bool) "busy > 0" true (s.Hbm.busy_time > 0.)
+
+let test_reset () =
+  let t = Hbm.create Hbm.hbm3e_module in
+  let _ = Hbm.read t ~now:0. ~offset:0. ~bytes:1e6 in
+  Hbm.reset t;
+  let s = Hbm.stats t in
+  Tu.check_float "bytes cleared" 0. s.Hbm.total_bytes;
+  Alcotest.(check int) "requests cleared" 0 s.Hbm.requests;
+  let t1 = Hbm.read t ~now:0. ~offset:0. ~bytes:1e6 in
+  Alcotest.(check bool) "channels free" true (t1 < 0.01)
+
+let test_bandwidth_scales_with_channels () =
+  let slow = Hbm.create (Hbm.config_for_bandwidth 100e9) in
+  let fast = Hbm.create (Hbm.config_for_bandwidth 1.6e12) in
+  let b = 32e6 in
+  let bw_slow = Hbm.effective_bandwidth slow ~bytes:b in
+  let bw_fast = Hbm.effective_bandwidth fast ~bytes:b in
+  Alcotest.(check bool) "faster config faster" true (bw_fast > 8. *. bw_slow)
+
+let qcheck_read_completion_positive =
+  Tu.qtest ~count:60 "hbm: completion after issue and duration sane"
+    QCheck2.Gen.(pair (float_bound_inclusive 1e8) (float_range 64. 1e7))
+    (fun (offset, bytes) ->
+      let t = Hbm.create Hbm.hbm3e_module in
+      let now = 0.5 in
+      let dt = Hbm.read t ~now ~offset ~bytes -. now in
+      dt > 0. && dt < 1. (* 10 MB cannot take a second on HBM3E *))
+
+let suite =
+  [
+    ("hbm: hbm3e peak", `Quick, test_hbm3e_peak);
+    ("hbm: config for bandwidth", `Quick, test_config_for_bandwidth);
+    ("hbm: sequential near peak", `Quick, test_large_sequential_near_peak);
+    ("hbm: small reads derated", `Quick, test_small_reads_derated);
+    ("hbm: state advances", `Quick, test_read_monotone_state);
+    ("hbm: idle recovery", `Quick, test_read_after_idle);
+    ("hbm: read errors", `Quick, test_read_errors);
+    ("hbm: replay", `Quick, test_replay_sequential);
+    ("hbm: stats", `Quick, test_stats_accumulate);
+    ("hbm: reset", `Quick, test_reset);
+    ("hbm: channel scaling", `Quick, test_bandwidth_scales_with_channels);
+    qcheck_read_completion_positive;
+  ]

@@ -1,0 +1,144 @@
+(* End-to-end integration tests: full compilation of structurally complete
+   (scaled) models through the public API, plus DSE environment checks. *)
+
+open Elk_model
+
+let pod () = Lazy.force Tu.default_pod
+let ctx () = Lazy.force Tu.default_ctx
+let model () = Lazy.force Tu.tiny_llama
+
+let compiled = lazy (Elk.Compile.compile (Lazy.force Tu.default_ctx) ~pod:(Lazy.force Tu.default_pod) (Lazy.force Tu.tiny_llama))
+
+let test_compile_end_to_end () =
+  let c = Lazy.force compiled in
+  Alcotest.(check bool) "positive latency" true (Elk.Compile.latency c > 0.);
+  Alcotest.(check bool) "tried orders" true (c.Elk.Compile.orders_tried >= 1);
+  Alcotest.(check bool) "compile time recorded" true (c.Elk.Compile.compile_seconds > 0.)
+
+let test_compile_program_valid () =
+  let c = Lazy.force compiled in
+  match
+    Elk.Program.validate c.Elk.Compile.program ~n:(Graph.length c.Elk.Compile.chip_graph)
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_compile_latency_includes_allreduce () =
+  let c = Lazy.force compiled in
+  Tu.check_rel "latency = timeline + allreduce" ~tolerance:1e-9
+    (c.Elk.Compile.timeline.Elk.Timeline.total +. c.Elk.Compile.allreduce)
+    (Elk.Compile.latency c)
+
+let test_reorder_never_hurts () =
+  let dyn =
+    Elk.Compile.compile ~options:Elk.Compile.dyn_options (ctx ()) ~pod:(pod ()) (model ())
+  in
+  let full = Lazy.force compiled in
+  Alcotest.(check bool) "full <= dyn" true
+    (full.Elk.Compile.timeline.Elk.Timeline.total
+    <= dyn.Elk.Compile.timeline.Elk.Timeline.total +. 1e-12)
+
+let test_compile_other_models () =
+  (* Gemma (GQA + gelu), OPT (layernorm MLP) and DiT compile end to end. *)
+  List.iter
+    (fun (cfg, phase) ->
+      let g = Elk_model.Zoo.build cfg phase in
+      let c =
+        Elk.Compile.compile ~options:Elk.Compile.dyn_options (ctx ()) ~pod:(pod ()) g
+      in
+      Alcotest.(check bool) (cfg.Elk_model.Zoo.cfg_name ^ " compiles") true
+        (Elk.Compile.latency c > 0.))
+    [
+      (Elk_model.Zoo.scale Elk_model.Zoo.gemma2_27b ~factor:16 ~layer_factor:23,
+       Elk_model.Zoo.Decode { batch = 8; ctx = 128 });
+      (Elk_model.Zoo.scale Elk_model.Zoo.opt_30b ~factor:8 ~layer_factor:24,
+       Elk_model.Zoo.Decode { batch = 8; ctx = 128 });
+      (Elk_model.Zoo.scale Elk_model.Zoo.dit_xl ~factor:8 ~layer_factor:14,
+       Elk_model.Zoo.Decode { batch = 2; ctx = 1 });
+    ]
+
+let test_compile_prefill () =
+  let cfg = Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:16 ~layer_factor:20 in
+  let g = Elk_model.Zoo.build cfg (Elk_model.Zoo.Prefill { batch = 2; seq = 64 }) in
+  let c = Elk.Compile.compile ~options:Elk.Compile.dyn_options (ctx ()) ~pod:(pod ()) g in
+  Alcotest.(check bool) "prefill compiles" true (Elk.Compile.latency c > 0.)
+
+let test_single_chip_pod () =
+  let pod1 = Elk_arch.Arch.Presets.scaled_pod ~chips:1 () in
+  let c = Elk.Compile.compile ~options:Elk.Compile.dyn_options (ctx ()) ~pod:pod1 (model ()) in
+  Tu.check_float "no allreduce" 0. c.Elk.Compile.allreduce
+
+let test_dse_env_defaults () =
+  let e = Elk_dse.Dse.env () in
+  Alcotest.(check int) "4 chips" 4 e.Elk_dse.Dse.pod.Elk_arch.Arch.chips;
+  Alcotest.(check int) "64 cores" 64 e.Elk_dse.Dse.pod.Elk_arch.Arch.chip.Elk_arch.Arch.cores
+
+let test_dse_env_overrides () =
+  let e = Elk_dse.Dse.env ~hbm_bw_per_chip:1e12 ~link_bw:11e9 ~flops_scale:2. () in
+  let chip = e.Elk_dse.Dse.pod.Elk_arch.Arch.chip in
+  Tu.check_float "hbm" 1e12 chip.Elk_arch.Arch.hbm_bandwidth;
+  Tu.check_float "link" 11e9 chip.Elk_arch.Arch.intercore_link.Elk_arch.Arch.bandwidth;
+  let base = Elk_arch.Arch.Presets.scaled_chip () in
+  Tu.check_rel "flops doubled" ~tolerance:1e-9
+    (2. *. base.Elk_arch.Arch.matmul_flops_per_core)
+    chip.Elk_arch.Arch.matmul_flops_per_core
+
+let test_dse_evaluate_sim_backed () =
+  let e = Elk_dse.Dse.env () in
+  let ev = Elk_dse.Dse.evaluate e (model ()) Elk_baselines.Baselines.Basic in
+  Alcotest.(check bool) "sim backed" true (ev.Elk_dse.Dse.sim <> None);
+  Alcotest.(check bool) "latency positive" true (ev.Elk_dse.Dse.latency > 0.);
+  let ideal = Elk_dse.Dse.evaluate e (model ()) Elk_baselines.Baselines.Ideal in
+  Alcotest.(check bool) "ideal analytic" true (ideal.Elk_dse.Dse.sim = None)
+
+let test_dse_more_hbm_not_slower () =
+  (* Fig 19's monotonicity: more HBM bandwidth never hurts Elk. *)
+  let m = model () in
+  let slow = Elk_dse.Dse.env ~hbm_bw_per_chip:40e9 () in
+  let fast = Elk_dse.Dse.env ~hbm_bw_per_chip:400e9 () in
+  let l e = (Elk_dse.Dse.evaluate ~elk_options:Elk.Compile.dyn_options e m Elk_baselines.Baselines.Elk_dyn).Elk_dse.Dse.latency in
+  Alcotest.(check bool) "faster hbm faster" true (l fast <= l slow *. 1.05)
+
+let test_dse_more_cores_not_slower () =
+  (* Fig 23: scaling cores (with per-core HBM share) reduces latency. *)
+  let m = model () in
+  let small = Elk_dse.Dse.env ~cores:16 () in
+  let large = Elk_dse.Dse.env ~cores:64 () in
+  let l e = (Elk_dse.Dse.evaluate ~elk_options:Elk.Compile.dyn_options e m Elk_baselines.Baselines.Elk_dyn).Elk_dse.Dse.latency in
+  Alcotest.(check bool) "more cores faster" true (l large <= l small *. 1.05)
+
+let suite =
+  [
+    ("compile: end to end", `Slow, test_compile_end_to_end);
+    ("compile: program valid", `Slow, test_compile_program_valid);
+    ("compile: latency composition", `Slow, test_compile_latency_includes_allreduce);
+    ("compile: reorder never hurts", `Slow, test_reorder_never_hurts);
+    ("compile: other model families", `Slow, test_compile_other_models);
+    ("compile: prefill phase", `Slow, test_compile_prefill);
+    ("compile: single chip", `Slow, test_single_chip_pod);
+    ("dse: env defaults", `Quick, test_dse_env_defaults);
+    ("dse: env overrides", `Quick, test_dse_env_overrides);
+    ("dse: sim-backed evaluate", `Slow, test_dse_evaluate_sim_backed);
+    ("dse: hbm monotonicity", `Slow, test_dse_more_hbm_not_slower);
+    ("dse: core-count monotonicity", `Slow, test_dse_more_cores_not_slower);
+  ]
+
+let test_full_scale_layer () =
+  (* The unscaled IPU-MK2 geometry works end to end: a 2-layer full-width
+     Llama2-13B compiles and simulates at 1472 cores/chip. *)
+  let chip = Elk_arch.Arch.Presets.ipu_mk2_full in
+  let pod4 = Elk_arch.Arch.Presets.ipu_pod4_full in
+  let cost = Elk_cost.Costmodel.train ~samples_per_kind:150 chip in
+  let fctx = Elk_partition.Partition.make_ctx cost in
+  let cfg = { Elk_model.Zoo.llama2_13b with Elk_model.Zoo.layers = 2 } in
+  let g = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch = 32; ctx = 2048 }) in
+  let c = Elk.Compile.compile ~options:Elk.Compile.dyn_options fctx ~pod:pod4 g in
+  let r = Elk_sim.Sim.run fctx c.Elk.Compile.schedule in
+  Alcotest.(check bool) "positive" true (r.Elk_sim.Sim.total > 0.);
+  (* 2 layers move ~4 GB per chip per token: the simulated latency must be
+     in the right physical ballpark for 4 TB/s HBM (0.5-5 ms). *)
+  Alcotest.(check bool) "physical ballpark" true
+    (r.Elk_sim.Sim.total > 2e-4 && r.Elk_sim.Sim.total < 5e-3);
+  Alcotest.(check bool) "good hbm utilization" true (r.Elk_sim.Sim.hbm_util > 0.5)
+
+let suite = suite @ [ ("full-scale: 2-layer llama on MK2", `Slow, test_full_scale_layer) ]

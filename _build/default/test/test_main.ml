@@ -1,0 +1,27 @@
+(* Entry point aggregating every suite; `dune runtest` runs this. *)
+
+let () =
+  Alcotest.run "elk"
+    [
+      ("util", Test_util.suite);
+      ("tensor", Test_tensor.suite);
+      ("model", Test_model.suite);
+      ("arch", Test_arch.suite);
+      ("hbm", Test_hbm.suite);
+      ("noc", Test_noc.suite);
+      ("cost", Test_cost.suite);
+      ("partition", Test_partition.suite);
+      ("core", Test_core.suite);
+      ("opsplit", Test_opsplit.suite);
+      ("sim", Test_sim.suite);
+      ("baselines", Test_baselines.suite);
+      ("gtext", Test_gtext.suite);
+      ("extensions", Test_extensions.suite);
+      ("semantics", Test_semantics.suite);
+      ("properties", Test_properties.suite);
+      ("edges", Test_edges.suite);
+      ("fusion", Test_fusion.suite);
+      ("dse", Test_dse.suite);
+      ("serve", Test_serve.suite);
+      ("integration", Test_integration.suite);
+    ]

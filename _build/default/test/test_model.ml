@@ -1,0 +1,280 @@
+open Elk_model
+open Elk_tensor
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_chain n =
+  let b = Graph.builder ~name:"chain" in
+  for i = 0 to n - 1 do
+    ignore
+      (Graph.add b ~role:(Printf.sprintf "op%d" i)
+         (Opspec.matmul ~name:(Printf.sprintf "m%d" i) ~m:2 ~n:2 ~k:2 ()))
+  done;
+  Graph.finish b
+
+let test_builder_ids_dense () =
+  let g = mk_chain 5 in
+  Alcotest.(check int) "length" 5 (Graph.length g);
+  Array.iteri (fun i n -> Alcotest.(check int) "id" i n.Graph.id) (Graph.nodes g)
+
+let test_default_deps_chain () =
+  let g = mk_chain 3 in
+  Alcotest.(check (list int)) "first" [] (Graph.get g 0).Graph.deps;
+  Alcotest.(check (list int)) "second" [ 0 ] (Graph.get g 1).Graph.deps;
+  Alcotest.(check (list int)) "third" [ 1 ] (Graph.get g 2).Graph.deps
+
+let test_add_rejects_forward_dep () =
+  let b = Graph.builder ~name:"bad" in
+  let _ = Graph.add b ~role:"a" (Opspec.softmax ~name:"s" ~rows:2 ~cols:2 ()) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Graph.add b ~deps:[ 5 ] ~role:"b" (Opspec.softmax ~name:"t" ~rows:2 ~cols:2 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_rejects_invalid_op () =
+  let b = Graph.builder ~name:"bad" in
+  let bad = { (Opspec.softmax ~name:"s" ~rows:2 ~cols:2 ()) with Opspec.iter = [| 0 |] } in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Graph.add b ~role:"x" bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_totals () =
+  let g = mk_chain 4 in
+  Tu.check_float "flops" (4. *. 2. *. 8.) (Graph.total_flops g);
+  Tu.check_float "hbm" (4. *. 8.) (Graph.total_hbm_bytes g);
+  Tu.check_float "mean" 8. (Graph.mean_hbm_bytes g)
+
+let test_hbm_heavy_threshold () =
+  let b = Graph.builder ~name:"mix" in
+  let _ = Graph.add b ~role:"big" (Opspec.matmul ~name:"big" ~m:2 ~n:64 ~k:64 ()) in
+  let _ = Graph.add b ~role:"small" (Opspec.softmax ~name:"sm" ~rows:2 ~cols:2 ()) in
+  let g = Graph.finish b in
+  Alcotest.(check (list int)) "only the matmul" [ 0 ] (Graph.hbm_heavy_ids g)
+
+let test_layers () =
+  let b = Graph.builder ~name:"layers" in
+  let _ = Graph.add b ~role:"pre" (Opspec.softmax ~name:"s0" ~rows:2 ~cols:2 ()) in
+  let _ = Graph.add b ~layer:0 ~role:"x" (Opspec.softmax ~name:"s1" ~rows:2 ~cols:2 ()) in
+  let _ = Graph.add b ~layer:1 ~role:"x" (Opspec.softmax ~name:"s2" ~rows:2 ~cols:2 ()) in
+  let _ = Graph.add b ~layer:1 ~role:"y" (Opspec.softmax ~name:"s3" ~rows:2 ~cols:2 ()) in
+  let g = Graph.finish b in
+  Alcotest.(check (list int)) "layers" [ 0; 1 ] (Graph.layer_ids g);
+  Alcotest.(check int) "layer 1 nodes" 2 (List.length (Graph.nodes_of_layer g 1))
+
+let test_is_valid_order () =
+  let g = mk_chain 3 in
+  Alcotest.(check bool) "identity" true (Graph.is_valid_order g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "reversed violates deps" false (Graph.is_valid_order g [ 2; 1; 0 ]);
+  Alcotest.(check bool) "not a permutation" false (Graph.is_valid_order g [ 0; 0; 1 ]);
+  Alcotest.(check bool) "wrong length" false (Graph.is_valid_order g [ 0; 1 ])
+
+let test_is_valid_order_diamond () =
+  let b = Graph.builder ~name:"diamond" in
+  let a = Graph.add b ~role:"a" (Opspec.softmax ~name:"a" ~rows:2 ~cols:2 ()) in
+  let l = Graph.add b ~deps:[ a ] ~role:"l" (Opspec.softmax ~name:"l" ~rows:2 ~cols:2 ()) in
+  let r = Graph.add b ~deps:[ a ] ~role:"r" (Opspec.softmax ~name:"r" ~rows:2 ~cols:2 ()) in
+  let _ = Graph.add b ~deps:[ l; r ] ~role:"j" (Opspec.softmax ~name:"j" ~rows:2 ~cols:2 ()) in
+  let g = Graph.finish b in
+  Alcotest.(check bool) "l-r swap ok" true (Graph.is_valid_order g [ 0; 2; 1; 3 ]);
+  Alcotest.(check bool) "join early bad" false (Graph.is_valid_order g [ 0; 1; 3; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Zoo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_presets_valid () =
+  List.iter
+    (fun cfg ->
+      match Zoo.validate cfg with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s invalid: %s" cfg.Zoo.cfg_name m)
+    Zoo.all
+
+let test_head_dims () =
+  Alcotest.(check int) "llama13b" 128 (Zoo.head_dim Zoo.llama2_13b);
+  Alcotest.(check int) "llama70b" 128 (Zoo.head_dim Zoo.llama2_70b);
+  Alcotest.(check int) "gemma" 144 (Zoo.head_dim Zoo.gemma2_27b);
+  Alcotest.(check int) "opt" 128 (Zoo.head_dim Zoo.opt_30b);
+  Alcotest.(check int) "dit" 72 (Zoo.head_dim Zoo.dit_xl)
+
+let test_param_counts_ballpark () =
+  (* fp16 bytes = 2 x parameter count; allow 15% for our simplified op set. *)
+  Tu.check_rel "llama2-13b" ~tolerance:0.15 26e9 (Zoo.param_bytes Zoo.llama2_13b);
+  Tu.check_rel "llama2-70b" ~tolerance:0.15 140e9 (Zoo.param_bytes Zoo.llama2_70b);
+  Tu.check_rel "opt-30b" ~tolerance:0.15 60e9 (Zoo.param_bytes Zoo.opt_30b)
+
+let test_decode_graph_structure () =
+  let g = Zoo.build Zoo.llama2_13b (Zoo.Decode { batch = 4; ctx = 64 }) in
+  Alcotest.(check int) "layers" 40 (List.length (Graph.layer_ids g));
+  Alcotest.(check bool) "op count" true (Graph.length g > 40 * 15);
+  (* Execution order = id order must be dependency-valid. *)
+  Alcotest.(check bool) "valid order" true
+    (Graph.is_valid_order g (List.init (Graph.length g) (fun i -> i)))
+
+let test_decode_kv_scales_with_ctx () =
+  let h1 = Graph.total_hbm_bytes (Zoo.build Zoo.llama2_13b (Zoo.Decode { batch = 4; ctx = 64 })) in
+  let h2 = Graph.total_hbm_bytes (Zoo.build Zoo.llama2_13b (Zoo.Decode { batch = 4; ctx = 128 })) in
+  Alcotest.(check bool) "kv grows" true (h2 > h1);
+  (* Doubling ctx only doubles the KV part, not the weights. *)
+  Alcotest.(check bool) "less than 2x" true (h2 < 2. *. h1)
+
+let test_gqa_reduces_kv () =
+  (* Llama2-70B has 8 KV heads for 64 query heads; a hypothetical MHA
+     version would carry 8x the KV volume. *)
+  let gqa = Zoo.llama2_70b in
+  let mha = { gqa with Zoo.cfg_name = "llama2-70b-mha"; kv_heads = gqa.Zoo.heads } in
+  let kv_bytes cfg =
+    let g = Zoo.build cfg (Zoo.Decode { batch = 2; ctx = 256 }) in
+    Array.to_list (Graph.nodes g)
+    |> List.concat_map (fun n -> n.Graph.op.Opspec.inputs |> List.map (fun t -> (n, t)))
+    |> List.filter (fun ((_, t) : Graph.node * Opspec.tensor) -> t.Opspec.source = Opspec.Kv_cache)
+    |> List.fold_left (fun a (n, t) -> a +. Opspec.tensor_bytes n.Graph.op t) 0.
+  in
+  Tu.check_rel "8x kv" ~tolerance:0.01 (8. *. kv_bytes gqa) (kv_bytes mha)
+
+let test_prefill_flops_scale () =
+  let d = Zoo.build Zoo.llama2_13b (Zoo.Decode { batch = 4; ctx = 64 }) in
+  let p = Zoo.build Zoo.llama2_13b (Zoo.Prefill { batch = 4; seq = 64 }) in
+  (* Prefill processes 64x the tokens; matmul FLOPs scale accordingly. *)
+  Alcotest.(check bool) "prefill bigger" true
+    (Graph.total_flops p > 30. *. Graph.total_flops d)
+
+let test_prefill_no_kv_load () =
+  let p = Zoo.build Zoo.llama2_13b (Zoo.Prefill { batch = 2; seq = 32 }) in
+  let kv_inputs =
+    Array.to_list (Graph.nodes p)
+    |> List.concat_map (fun n -> n.Graph.op.Opspec.inputs)
+    |> List.filter (fun (t : Opspec.tensor) -> t.Opspec.source = Opspec.Kv_cache)
+  in
+  Alcotest.(check int) "no kv-cache loads in prefill" 0 (List.length kv_inputs)
+
+let test_opt_no_rope () =
+  let g = Zoo.build Zoo.opt_30b (Zoo.Decode { batch = 2; ctx = 32 }) in
+  let ropes =
+    Array.to_list (Graph.nodes g) |> List.filter (fun n -> n.Graph.op.Opspec.kind = "rope")
+  in
+  Alcotest.(check int) "no rope in OPT" 0 (List.length ropes)
+
+let test_llama_has_rope_and_silu () =
+  let g = Zoo.build Zoo.llama2_13b (Zoo.Decode { batch = 2; ctx = 32 }) in
+  let kinds = Array.to_list (Graph.nodes g) |> List.map (fun n -> n.Graph.op.Opspec.kind) in
+  Alcotest.(check bool) "rope" true (List.mem "rope" kinds);
+  Alcotest.(check bool) "silu" true (List.mem "silu" kinds);
+  Alcotest.(check bool) "rmsnorm" true (List.mem "rmsnorm" kinds)
+
+let test_dit_structure () =
+  let g = Zoo.build Zoo.dit_xl (Zoo.Decode { batch = 2; ctx = 1 }) in
+  Alcotest.(check int) "layers" 28 (List.length (Graph.layer_ids g));
+  let kv =
+    Array.to_list (Graph.nodes g)
+    |> List.concat_map (fun n -> n.Graph.op.Opspec.inputs)
+    |> List.filter (fun (t : Opspec.tensor) -> t.Opspec.source = Opspec.Kv_cache)
+  in
+  Alcotest.(check int) "no kv cache" 0 (List.length kv);
+  (* DiT is compute-intensive: much higher arithmetic intensity than
+     decode-phase LLMs (paper §6.4 observation 3). *)
+  let llm = Zoo.build (Zoo.scale Zoo.llama2_13b ~factor:4 ~layer_factor:1) (Zoo.Decode { batch = 2; ctx = 512 }) in
+  let intensity gr = Graph.total_flops gr /. Graph.total_hbm_bytes gr in
+  Alcotest.(check bool) "dit intensity higher" true (intensity g > 10. *. intensity llm)
+
+let test_scale_preserves_head_dim () =
+  List.iter
+    (fun cfg ->
+      let s = Zoo.scale cfg ~factor:8 ~layer_factor:10 in
+      (match Zoo.validate s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "scaled %s invalid: %s" s.Zoo.cfg_name m);
+      Alcotest.(check int)
+        (cfg.Zoo.cfg_name ^ " head dim preserved")
+        (Zoo.head_dim cfg) (Zoo.head_dim s))
+    Zoo.all
+
+let test_scale_shrinks () =
+  let s = Zoo.scale Zoo.llama2_13b ~factor:8 ~layer_factor:10 in
+  Alcotest.(check int) "layers" 4 s.Zoo.layers;
+  Alcotest.(check int) "hidden" 640 s.Zoo.hidden;
+  Alcotest.(check bool) "params shrink >100x" true
+    (Zoo.param_bytes s < Zoo.param_bytes Zoo.llama2_13b /. 100.)
+
+let test_by_name () =
+  Alcotest.(check bool) "found" true (Zoo.by_name "opt-30b" = Some Zoo.opt_30b);
+  Alcotest.(check bool) "missing" true (Zoo.by_name "gpt-5" = None)
+
+
+let test_moe_structure () =
+  let cfg = Zoo.scale Zoo.mixtral_8x7b ~factor:8 ~layer_factor:16 in
+  let g = Zoo.build cfg (Zoo.Decode { batch = 8; ctx = 128 }) in
+  let roles r =
+    Array.to_list (Graph.nodes g) |> List.filter (fun n -> n.Graph.role = r)
+  in
+  let layers = List.length (Graph.layer_ids g) in
+  Alcotest.(check int) "one router per layer" layers (List.length (roles "router"));
+  (* top-2: two expert instances of each projection per layer. *)
+  Alcotest.(check int) "2 expert_down per layer" (2 * layers)
+    (List.length (roles "expert_down"));
+  Alcotest.(check bool) "valid" true
+    (Graph.is_valid_order g (List.init (Graph.length g) (fun i -> i)))
+
+let test_moe_active_weights_scale_with_topk () =
+  (* The built graph carries only the active experts' weights: top-2 loads
+     ~2x the FFN weights of a top-1 variant. *)
+  let base = Zoo.scale Zoo.mixtral_8x7b ~factor:8 ~layer_factor:16 in
+  let top1 = { base with Zoo.cfg_name = "top1"; family = Zoo.Moe { experts = 8; topk = 1 } } in
+  let hbm cfg =
+    Graph.total_hbm_bytes (Zoo.build cfg (Zoo.Decode { batch = 8; ctx = 128 }))
+  in
+  Alcotest.(check bool) "top2 loads more" true (hbm base > 1.3 *. hbm top1)
+
+let test_moe_compiles () =
+  let cfg = Zoo.scale Zoo.mixtral_8x7b ~factor:16 ~layer_factor:16 in
+  let g = Zoo.build cfg (Zoo.Decode { batch = 8; ctx = 64 }) in
+  let pod = Lazy.force Tu.default_pod and ctx = Lazy.force Tu.default_ctx in
+  let c = Elk.Compile.compile ~options:Elk.Compile.dyn_options ctx ~pod g in
+  Alcotest.(check bool) "compiles" true (Elk.Compile.latency c > 0.)
+
+let qcheck_decode_valid_graphs =
+  Tu.qtest ~count:20 "zoo: random decode shapes build valid graphs"
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 16 256))
+    (fun (batch, ctx) ->
+      let cfg = Zoo.scale Zoo.llama2_13b ~factor:16 ~layer_factor:20 in
+      let g = Zoo.build cfg (Zoo.Decode { batch; ctx }) in
+      Graph.length g > 0
+      && Array.for_all
+           (fun (n : Graph.node) -> Opspec.validate n.Graph.op = Ok ())
+           (Graph.nodes g))
+
+let suite =
+  [
+    ("graph: builder dense ids", `Quick, test_builder_ids_dense);
+    ("graph: default chain deps", `Quick, test_default_deps_chain);
+    ("graph: rejects forward deps", `Quick, test_add_rejects_forward_dep);
+    ("graph: rejects invalid ops", `Quick, test_add_rejects_invalid_op);
+    ("graph: totals", `Quick, test_totals);
+    ("graph: hbm-heavy threshold", `Quick, test_hbm_heavy_threshold);
+    ("graph: layer queries", `Quick, test_layers);
+    ("graph: order validity", `Quick, test_is_valid_order);
+    ("graph: diamond order validity", `Quick, test_is_valid_order_diamond);
+    ("zoo: presets valid", `Quick, test_presets_valid);
+    ("zoo: head dims", `Quick, test_head_dims);
+    ("zoo: parameter counts", `Quick, test_param_counts_ballpark);
+    ("zoo: decode graph structure", `Quick, test_decode_graph_structure);
+    ("zoo: kv scales with ctx", `Quick, test_decode_kv_scales_with_ctx);
+    ("zoo: GQA reduces KV volume", `Quick, test_gqa_reduces_kv);
+    ("zoo: prefill flops scale", `Quick, test_prefill_flops_scale);
+    ("zoo: prefill has no kv loads", `Quick, test_prefill_no_kv_load);
+    ("zoo: OPT has no rope", `Quick, test_opt_no_rope);
+    ("zoo: llama kinds", `Quick, test_llama_has_rope_and_silu);
+    ("zoo: DiT structure", `Quick, test_dit_structure);
+    ("zoo: scale preserves head dim", `Quick, test_scale_preserves_head_dim);
+    ("zoo: scale shrinks", `Quick, test_scale_shrinks);
+    ("zoo: by_name", `Quick, test_by_name);
+    ("zoo: MoE structure", `Quick, test_moe_structure);
+    ("zoo: MoE active weights", `Quick, test_moe_active_weights_scale_with_topk);
+    ("zoo: MoE compiles", `Slow, test_moe_compiles);
+    qcheck_decode_valid_graphs;
+  ]

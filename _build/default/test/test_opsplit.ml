@@ -1,0 +1,124 @@
+(* Tests for operator splitting and multi-round partition plans. *)
+
+open Elk_tensor
+module P = Elk_partition.Partition
+
+let ctx () = Lazy.force Tu.default_ctx
+
+(* A matmul whose weight alone exceeds per-core SRAM at minimal sharing:
+   96 KB/core x 64 cores ~ 6 MB; 8000 x 640 fp16 weights are 10.2 MB. *)
+let oversized = Opspec.matmul ~name:"big_head" ~m:64 ~n:8000 ~k:640 ()
+
+let test_oversized_has_no_plan () =
+  Alcotest.(check int) "no plans" 0 (List.length (P.enumerate (ctx ()) oversized))
+
+let test_split_feasible_unchanged () =
+  match Elk.Opsplit.split_op (ctx ()) Tu.matmul_op with
+  | [ op ] -> Alcotest.(check bool) "same op" true (op == Tu.matmul_op)
+  | other -> Alcotest.failf "expected singleton, got %d chunks" (List.length other)
+
+let test_split_conserves_work () =
+  let chunks = Elk.Opsplit.split_op (ctx ()) oversized in
+  Alcotest.(check bool) "multiple chunks" true (List.length chunks >= 2);
+  let sum f = List.fold_left (fun a c -> a +. f c) 0. chunks in
+  Tu.check_rel "flops conserved" ~tolerance:0.02 (Opspec.flops oversized)
+    (sum Opspec.flops);
+  Tu.check_rel "hbm bytes conserved" ~tolerance:0.02 (Opspec.hbm_bytes oversized)
+    (sum Opspec.hbm_bytes)
+
+let test_split_chunks_feasible () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "chunk has plans" true (P.enumerate (ctx ()) c <> []))
+    (Elk.Opsplit.split_op (ctx ()) oversized)
+
+let test_split_graph_identity () =
+  let g = Lazy.force Tu.tiny_llama_chip_graph in
+  Alcotest.(check bool) "unchanged graph is physically equal" true
+    (Elk.Opsplit.split_graph (ctx ()) g == g)
+
+let test_split_graph_rewrites () =
+  let open Elk_model in
+  let b = Graph.builder ~name:"with-big-head" in
+  let a = Graph.add b ~role:"attn_norm" (Opspec.norm ~name:"n" ~rows:8 ~cols:64 ()) in
+  let _ = Graph.add b ~deps:[ a ] ~role:"lm_head" oversized in
+  let g = Graph.finish b in
+  let s = Elk.Opsplit.split_graph (ctx ()) g in
+  Alcotest.(check bool) "grew" true (Graph.length s > Graph.length g);
+  (* Execution order (= id order) must remain dependency-valid and every
+     node must now be schedulable. *)
+  Alcotest.(check bool) "valid order" true
+    (Graph.is_valid_order s (List.init (Graph.length s) (fun i -> i)));
+  Array.iter
+    (fun (n : Graph.node) ->
+      Alcotest.(check bool) "feasible" true (P.enumerate (ctx ()) n.Graph.op <> []);
+      Alcotest.(check bool) "role preserved" true
+        (n.Graph.role = "attn_norm" || n.Graph.role = "lm_head"))
+    (Graph.nodes s)
+
+let test_split_graph_schedulable () =
+  let open Elk_model in
+  let b = Graph.builder ~name:"schedulable" in
+  let a = Graph.add b ~role:"attn_norm" (Opspec.norm ~name:"n" ~rows:8 ~cols:64 ()) in
+  let _ = Graph.add b ~deps:[ a ] ~role:"lm_head" oversized in
+  let g = Elk.Opsplit.split_graph (ctx ()) (Graph.finish b) in
+  let s = Elk.Scheduler.run (ctx ()) g in
+  match Elk.Schedule.validate s with Ok () -> () | Error m -> Alcotest.fail m
+
+let test_split_truly_impossible_raises () =
+  (* One k-slice of 2^20 elements (2 MB activation slice) exceeds SRAM even
+     at the 64-chunk limit. *)
+  let impossible = Opspec.matmul ~name:"impossible" ~m:1 ~n:1 ~k:(1 lsl 30) () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Elk.Opsplit.split_op (ctx ()) impossible);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- multi-round plans -------------------------------------------- *)
+
+let test_rounds_extend_feasibility () =
+  (* 64 x 1000 x 640 fits only via multi-round plans at 96 KB/core. *)
+  let op = Opspec.matmul ~name:"rounds" ~m:64 ~n:1000 ~k:640 () in
+  let plans = P.enumerate (ctx ()) op in
+  Alcotest.(check bool) "has plans" true (plans <> []);
+  Alcotest.(check bool) "some plan uses > cores tiles" true
+    (List.exists
+       (fun p ->
+         Array.fold_left ( * ) 1 p.P.factors
+         > (P.ctx_chip (ctx ())).Elk_arch.Arch.cores)
+       plans)
+
+let test_rounds_scale_time_and_residency () =
+  let op = Opspec.matmul ~name:"rt" ~m:64 ~n:512 ~k:512 () in
+  let c = ctx () in
+  let plans = P.enumerate c op in
+  List.iter
+    (fun p ->
+      let tiles = Array.fold_left ( * ) 1 p.P.factors in
+      let cores = (P.ctx_chip c).Elk_arch.Arch.cores in
+      let rounds = (tiles + cores - 1) / cores in
+      if rounds > 1 then begin
+        (* HBM residency must cover all rounds: at least [rounds] x the
+           single-tile weight slice. *)
+        let wslice =
+          float_of_int (512 / p.P.factors.(1) * (512 / p.P.factors.(2)) * 2)
+        in
+        Alcotest.(check bool) "residency covers rounds" true
+          (p.P.hbm_needed_per_core >= 0.9 *. (wslice *. float_of_int rounds))
+      end)
+    plans
+
+let suite =
+  [
+    ("opsplit: oversized has no plan", `Quick, test_oversized_has_no_plan);
+    ("opsplit: feasible unchanged", `Quick, test_split_feasible_unchanged);
+    ("opsplit: conserves work", `Quick, test_split_conserves_work);
+    ("opsplit: chunks feasible", `Quick, test_split_chunks_feasible);
+    ("opsplit: graph identity", `Quick, test_split_graph_identity);
+    ("opsplit: graph rewrite", `Quick, test_split_graph_rewrites);
+    ("opsplit: schedulable after split", `Quick, test_split_graph_schedulable);
+    ("opsplit: impossible raises", `Quick, test_split_truly_impossible_raises);
+    ("rounds: extend feasibility", `Quick, test_rounds_extend_feasibility);
+    ("rounds: residency scales", `Quick, test_rounds_scale_time_and_residency);
+  ]

@@ -1,0 +1,243 @@
+open Elk_partition
+open Elk_tensor
+open Elk_util
+
+let ctx () = Lazy.force Tu.default_ctx
+let mctx () = Lazy.force Tu.mesh_ctx
+
+let test_signature_stable_across_layers () =
+  let a = Opspec.matmul ~name:"l0.q" ~m:16 ~n:64 ~k:64 () in
+  let b = Opspec.matmul ~name:"l7.q" ~m:16 ~n:64 ~k:64 () in
+  Alcotest.(check string) "same signature" (Partition.plan_signature a)
+    (Partition.plan_signature b);
+  let c = Opspec.matmul ~name:"x" ~m:16 ~n:64 ~k:32 () in
+  Alcotest.(check bool) "shape matters" true
+    (Partition.plan_signature a <> Partition.plan_signature c)
+
+let test_enumerate_nonempty_sorted () =
+  let plans = Partition.enumerate (ctx ()) Tu.matmul_op in
+  Alcotest.(check bool) "nonempty" true (plans <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Partition.exec_time <= b.Partition.exec_time && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted plans)
+
+let test_plans_fit_constraints () =
+  let c = ctx () in
+  let chip = Partition.ctx_chip c in
+  let sram = Elk_arch.Arch.usable_sram_per_core chip in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "cores bound" true
+        (p.Partition.cores_used >= 1 && p.Partition.cores_used <= chip.Elk_arch.Arch.cores);
+      Alcotest.(check bool) "fits sram" true (p.Partition.exec_space <= sram);
+      Alcotest.(check bool) "tile covers" true
+        (Array.for_all2 (fun t f -> t * f >= 32 || t * f >= 1) p.Partition.tile
+           p.Partition.factors))
+    (Partition.enumerate c Tu.matmul_op)
+
+let test_tile_is_ceil_div () =
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun d f ->
+          let e = Tu.matmul_op.Opspec.iter.(d) in
+          Alcotest.(check int) "ceil division" ((e + f - 1) / f) p.Partition.tile.(d))
+        p.Partition.factors)
+    (Partition.enumerate (ctx ()) Tu.matmul_op)
+
+let test_frontier_canonical () =
+  let f = Partition.exec_frontier (ctx ()) Tu.matmul_op in
+  Alcotest.(check bool) "nonempty" true (f <> []);
+  Alcotest.(check bool) "canonical" true (Pareto.is_frontier f)
+
+let test_fastest_plan () =
+  (* [fastest_plan] minimizes exec time plus the plan's best preload
+     overhead (so an execution-fast plan with a pathological preload state
+     cannot win); it must come from the enumeration and be within 2x of
+     the raw execution-time minimum. *)
+  let c = ctx () in
+  let plans = Partition.enumerate c Tu.matmul_op in
+  let fastest = Partition.fastest_plan c Tu.matmul_op in
+  Alcotest.(check bool) "member" true
+    (List.exists (fun p -> p.Partition.factors = fastest.Partition.factors) plans);
+  let raw_min =
+    List.fold_left (fun a p -> Float.min a p.Partition.exec_time) infinity plans
+  in
+  Alcotest.(check bool) "near raw minimum" true (fastest.Partition.exec_time <= 2. *. raw_min)
+
+let test_fastest_within () =
+  let c = ctx () in
+  let frontier = Partition.exec_frontier c Tu.matmul_op in
+  let smallest = List.hd frontier in
+  (match Partition.fastest_plan_within c Tu.matmul_op ~space:smallest.Pareto.x with
+  | Some p -> Alcotest.(check bool) "fits budget" true (p.Partition.exec_space <= smallest.Pareto.x)
+  | None -> Alcotest.fail "smallest frontier point must fit");
+  Alcotest.(check bool) "tiny budget fails" true
+    (Partition.fastest_plan_within c Tu.matmul_op ~space:1. = None)
+
+let test_larger_space_not_slower () =
+  (* Fig 5's core claim: the frontier trades space for time, so the
+     biggest-space frontier plan is the fastest. *)
+  let f = Partition.exec_frontier (ctx ()) Tu.matmul_op in
+  let first = List.hd f and last = List.nth f (List.length f - 1) in
+  Alcotest.(check bool) "more space faster" true (last.Pareto.y <= first.Pareto.y)
+
+let test_mesh_restricts_split_dims () =
+  let plans = Partition.enumerate (mctx ()) Tu.matmul_op in
+  Alcotest.(check bool) "nonempty" true (plans <> []);
+  List.iter
+    (fun p ->
+      let split = Array.fold_left (fun a f -> if f > 1 then a + 1 else a) 0 p.Partition.factors in
+      Alcotest.(check bool) "at most 2 split dims" true (split <= 2))
+    plans
+
+let test_a2a_allows_more_dims () =
+  let op = Opspec.batch_matmul ~name:"b" ~batch:8 ~m:8 ~n:64 ~k:64 () in
+  let plans = Partition.enumerate (ctx ()) op in
+  Alcotest.(check bool) "some plan splits 3 dims" true
+    (List.exists
+       (fun p ->
+         Array.fold_left (fun a f -> if f > 1 then a + 1 else a) 0 p.Partition.factors >= 3)
+       plans)
+
+let test_memoization_hits () =
+  let c = ctx () in
+  let a = Opspec.matmul ~name:"x1" ~m:24 ~n:96 ~k:96 () in
+  let b = Opspec.matmul ~name:"x2" ~m:24 ~n:96 ~k:96 () in
+  let pa = Partition.enumerate c a and pb = Partition.enumerate c b in
+  Alcotest.(check bool) "same list (memoized)" true (pa == pb)
+
+let test_exchange_zero_when_unshared () =
+  (* Partitioning only m slices the activation and shares the weight; a
+     plan splitting only the n dim shares the activation instead.  A plan
+     that splits nothing has no exchange. *)
+  let c = ctx () in
+  let op = Opspec.softmax ~name:"s" ~rows:256 ~cols:64 () in
+  List.iter
+    (fun p ->
+      if Array.for_all2 (fun f e -> f = e || f = 1) p.Partition.factors op.Opspec.iter then
+        ()
+      else ();
+      (* softmax input is indexed by both dims: never shared, no exchange
+         from inputs; only reduction if cols split. *)
+      if p.Partition.factors.(1) = 1 then
+        Tu.check_float "row split has no exchange" 0. p.Partition.exchange_bytes_per_core)
+    (Partition.enumerate c op)
+
+let test_preload_options_pareto () =
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  let opts = Partition.preload_options c Tu.matmul_op plan in
+  Alcotest.(check bool) "nonempty" true (opts <> []);
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        a.Partition.preload_space <= b.Partition.preload_space && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by space" true (ascending opts)
+
+let test_preload_options_extremes () =
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  let opts = Partition.preload_options c Tu.matmul_op plan in
+  let last = List.nth opts (List.length opts - 1) in
+  (* Full broadcast: nothing left to distribute. *)
+  Tu.check_float "full broadcast no dist" 0. last.Partition.dist_bytes_per_core;
+  Tu.check_float "frac 1" 1. last.Partition.frac;
+  let first = List.hd opts in
+  if List.length opts > 1 then begin
+    Alcotest.(check bool) "min space smaller" true
+      (first.Partition.preload_space < last.Partition.preload_space);
+    Alcotest.(check bool) "min space pays dist" true (first.Partition.dist_bytes_per_core > 0.)
+  end
+
+let test_preload_conservation () =
+  (* preload_space + dist_bytes = execute-state resident bytes per core. *)
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  List.iter
+    (fun o ->
+      Tu.check_rel "space + dist = needed" ~tolerance:1e-9 plan.Partition.hbm_needed_per_core
+        (o.Partition.preload_space +. o.Partition.dist_bytes_per_core))
+    (Partition.preload_options c Tu.matmul_op plan)
+
+let test_preload_device_bytes_constant () =
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  let opts = Partition.preload_options c Tu.matmul_op plan in
+  let d = (List.hd opts).Partition.hbm_device_bytes in
+  Tu.check_float "= weight bytes" (Opspec.hbm_bytes Tu.matmul_op) d;
+  List.iter (fun o -> Tu.check_float "same device bytes" d o.Partition.hbm_device_bytes) opts
+
+let test_preload_no_hbm_single_zero_option () =
+  let c = ctx () in
+  let op = Opspec.softmax ~name:"s" ~rows:64 ~cols:64 () in
+  let plan = Partition.fastest_plan c op in
+  match Partition.preload_options c op plan with
+  | [ o ] ->
+      Tu.check_float "no space" 0. o.Partition.preload_space;
+      Tu.check_float "no len" 0. o.Partition.preload_len
+  | other -> Alcotest.failf "expected 1 option, got %d" (List.length other)
+
+let test_preload_len_at_least_floor () =
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "len >= floor" true
+        (o.Partition.preload_len >= o.Partition.hbm_floor -. 1e-15))
+    (Partition.preload_options c Tu.matmul_op plan)
+
+let test_overhead_zero_somewhere () =
+  (* Some option should be near the HBM floor with no dist: otherwise the
+     op is pathologically interconnect-bound. *)
+  let c = ctx () in
+  let plan = Partition.fastest_plan c Tu.matmul_op in
+  let best =
+    List.fold_left
+      (fun a o -> Float.min a (Partition.preload_overhead o))
+      infinity
+      (Partition.preload_options c Tu.matmul_op plan)
+  in
+  Alcotest.(check bool) "small best overhead" true (best < 1e-3)
+
+let qcheck_enumerate_valid =
+  Tu.qtest ~count:25 "partition: random matmuls produce consistent plans"
+    QCheck2.Gen.(triple (int_range 1 64) (int_range 8 512) (int_range 8 512))
+    (fun (m, n, k) ->
+      let op = Opspec.matmul ~name:"q" ~m ~n ~k () in
+      let c = ctx () in
+      let cores = (Partition.ctx_chip c).Elk_arch.Arch.cores in
+      List.for_all
+        (fun p ->
+          p.Partition.exec_time > 0.
+          && p.Partition.exec_space > 0.
+          && p.Partition.cores_used
+             = min cores (Array.fold_left ( * ) 1 p.Partition.factors))
+        (Partition.enumerate c op))
+
+let suite =
+  [
+    ("partition: signatures", `Quick, test_signature_stable_across_layers);
+    ("partition: enumerate sorted", `Quick, test_enumerate_nonempty_sorted);
+    ("partition: plan constraints", `Quick, test_plans_fit_constraints);
+    ("partition: ceil-div tiles", `Quick, test_tile_is_ceil_div);
+    ("partition: frontier canonical", `Quick, test_frontier_canonical);
+    ("partition: fastest plan", `Quick, test_fastest_plan);
+    ("partition: fastest within budget", `Quick, test_fastest_within);
+    ("partition: space-time tradeoff", `Quick, test_larger_space_not_slower);
+    ("partition: mesh split limit", `Quick, test_mesh_restricts_split_dims);
+    ("partition: a2a full splits", `Quick, test_a2a_allows_more_dims);
+    ("partition: memoization", `Quick, test_memoization_hits);
+    ("partition: unshared no exchange", `Quick, test_exchange_zero_when_unshared);
+    ("partition: popt pareto", `Quick, test_preload_options_pareto);
+    ("partition: popt extremes", `Quick, test_preload_options_extremes);
+    ("partition: popt conservation", `Quick, test_preload_conservation);
+    ("partition: device bytes constant", `Quick, test_preload_device_bytes_constant);
+    ("partition: no-hbm zero option", `Quick, test_preload_no_hbm_single_zero_option);
+    ("partition: len above floor", `Quick, test_preload_len_at_least_floor);
+    ("partition: reachable floor", `Quick, test_overhead_zero_somewhere);
+    qcheck_enumerate_valid;
+  ]

@@ -1,0 +1,138 @@
+(* Cross-cutting property tests over the allocator, scheduler, HBM model
+   and graph serialization, on randomized inputs. *)
+
+open Elk_model
+module P = Elk_partition.Partition
+
+let ctx () = Lazy.force Tu.default_ctx
+let graph () = Lazy.force Tu.tiny_llama_chip_graph
+let capacity () = Elk_arch.Arch.usable_sram_per_core (P.ctx_chip (ctx ()))
+
+let qcheck_alloc_fits_any_capacity =
+  Tu.qtest ~count:40 "alloc: result always fits the given capacity"
+    QCheck2.Gen.(pair (int_bound 1000) (float_range 0.2 1.))
+    (fun (nseed, cap_frac) ->
+      let g = graph () in
+      let c = ctx () in
+      let node = Graph.get g (nseed mod Graph.length g) in
+      let window =
+        [ (Graph.get g ((nseed + 7) mod Graph.length g), P.fastest_plan c (Graph.get g ((nseed + 7) mod Graph.length g)).Graph.op) ]
+      in
+      match
+        Elk.Alloc.allocate c ~capacity:(cap_frac *. capacity ()) ~exec_op:node ~window
+      with
+      | None -> true (* refusing is allowed; overflowing is not *)
+      | Some r -> r.Elk.Alloc.total_space <= (cap_frac *. capacity ()) +. 1e-6)
+
+let qcheck_alloc_monotone_in_capacity =
+  Tu.qtest ~count:30 "alloc: more capacity never slows the chosen plan"
+    QCheck2.Gen.(int_bound 1000)
+    (fun nseed ->
+      let g = graph () in
+      let c = ctx () in
+      let node = Graph.get g (nseed mod Graph.length g) in
+      let run cap = Elk.Alloc.allocate c ~capacity:cap ~exec_op:node ~window:[] in
+      match (run (0.4 *. capacity ()), run (capacity ())) with
+      | Some small, Some big -> big.Elk.Alloc.exec_time <= small.Elk.Alloc.exec_time +. 1e-12
+      | None, _ -> true
+      | Some _, None -> false)
+
+let qcheck_scheduler_respects_max_preload =
+  Tu.qtest ~count:8 "scheduler: windows never exceed max_preload + floor growth"
+    QCheck2.Gen.(int_range 1 12)
+    (fun cap ->
+      let s = Elk.Scheduler.run ~max_preload:cap (ctx ()) (graph ()) in
+      (* Each horizon extends at most [cap] beyond its floor; since floors
+         advance by at least 1 per op, windows are bounded by cap + 1. *)
+      Array.for_all (fun w -> w <= cap + 1) (Elk.Scheduler.preload_numbers s))
+
+let qcheck_hbm_larger_reads_not_faster =
+  Tu.qtest ~count:40 "hbm: completion is monotone in request size"
+    QCheck2.Gen.(pair (float_range 1e3 1e6) (float_range 1e3 1e6))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let dev () = Elk_hbm.Hbm.create Elk_hbm.Hbm.hbm3e_module in
+      Elk_hbm.Hbm.read (dev ()) ~now:0. ~offset:0. ~bytes:lo
+      <= Elk_hbm.Hbm.read (dev ()) ~now:0. ~offset:0. ~bytes:hi +. 1e-12)
+
+let qcheck_gtext_random_roundtrip =
+  Tu.qtest ~count:25 "gtext: random mixed graphs roundtrip"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Elk_util.Xrng.create seed in
+      let b = Graph.builder ~name:"rr" in
+      let n = 2 + Elk_util.Xrng.int rng 12 in
+      for i = 0 to n - 1 do
+        let op =
+          match Elk_util.Xrng.int rng 5 with
+          | 0 ->
+              Elk_tensor.Opspec.matmul ~name:(Printf.sprintf "m%d" i)
+                ~m:(1 + Elk_util.Xrng.int rng 64)
+                ~n:(1 + Elk_util.Xrng.int rng 64)
+                ~k:(1 + Elk_util.Xrng.int rng 64)
+                ()
+          | 1 ->
+              Elk_tensor.Opspec.batch_matmul ~name:(Printf.sprintf "b%d" i)
+                ~batch:(1 + Elk_util.Xrng.int rng 8)
+                ~m:(1 + Elk_util.Xrng.int rng 8)
+                ~n:(1 + Elk_util.Xrng.int rng 32)
+                ~k:(1 + Elk_util.Xrng.int rng 32)
+                ()
+          | 2 ->
+              Elk_tensor.Opspec.norm ~name:(Printf.sprintf "n%d" i)
+                ~kind:(if Elk_util.Xrng.int rng 2 = 0 then "rmsnorm" else "layernorm")
+                ~rows:(1 + Elk_util.Xrng.int rng 64)
+                ~cols:(1 + Elk_util.Xrng.int rng 64)
+                ()
+          | 3 ->
+              Elk_tensor.Opspec.rope ~name:(Printf.sprintf "r%d" i)
+                ~rows:(1 + Elk_util.Xrng.int rng 64)
+                ~cols:(1 + Elk_util.Xrng.int rng 64)
+                ()
+          | _ ->
+              Elk_tensor.Opspec.elementwise ~name:(Printf.sprintf "e%d" i)
+                ~arity:(1 + Elk_util.Xrng.int rng 2)
+                ~kind:(Elk_util.Xrng.pick rng [ "add"; "mul"; "silu"; "gelu" ])
+                ~shape:[ 1 + Elk_util.Xrng.int rng 32; 1 + Elk_util.Xrng.int rng 32 ]
+                ()
+        in
+        let deps = if i = 0 then [] else [ Elk_util.Xrng.int rng i ] in
+        ignore (Graph.add b ~deps ~role:(Printf.sprintf "r%d" i) op)
+      done;
+      let g = Graph.finish b in
+      match Gtext.import (Gtext.export g) with
+      | Ok g' -> Gtext.roundtrip_equal g g'
+      | Error _ -> false)
+
+let qcheck_planio_random_schedules =
+  Tu.qtest ~count:6 "planio: scheduler outputs roundtrip through the plan file"
+    QCheck2.Gen.(int_bound 3)
+    (fun seed ->
+      ignore seed;
+      let s = Elk.Scheduler.run (ctx ()) (graph ()) in
+      match Elk.Planio.import (ctx ()) (Elk.Planio.export s) with
+      | Ok s' ->
+          let t a = (Elk.Timeline.evaluate (ctx ()) a).Elk.Timeline.total in
+          Float.abs (t s -. t s') < 1e-12
+      | Error _ -> false)
+
+let qcheck_sharding_flops_split =
+  Tu.qtest ~count:20 "sharding: chips split FLOPs roughly evenly"
+    QCheck2.Gen.(int_range 2 8)
+    (fun chips ->
+      let g = Lazy.force Tu.tiny_llama in
+      let s = Elk.Sharding.shard_graph ~chips g in
+      let ratio = Graph.total_flops g /. (Graph.total_flops s *. float_of_int chips) in
+      (* Norm replication and ceil rounding leave some slack. *)
+      ratio > 0.7 && ratio < 1.3)
+
+let suite =
+  [
+    qcheck_alloc_fits_any_capacity;
+    qcheck_alloc_monotone_in_capacity;
+    qcheck_scheduler_respects_max_preload;
+    qcheck_hbm_larger_reads_not_faster;
+    qcheck_gtext_random_roundtrip;
+    qcheck_planio_random_schedules;
+    qcheck_sharding_flops_split;
+  ]

@@ -1,0 +1,266 @@
+(* End-to-end semantic fixtures: hand-built schedules with known-by-hand
+   timelines (locking the §4.5 device rules), plus randomized
+   graph→schedule→program→timeline→simulator pipeline properties. *)
+
+open Elk_model
+open Elk_tensor
+module P = Elk_partition.Partition
+
+let ctx () = Lazy.force Tu.default_ctx
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built schedule with a hand-computed timeline                  *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_plan ~exec_time =
+  {
+    P.factors = [| 1; 1 |];
+    tile = [| 4; 4 |];
+    cores_used = 1;
+    exec_space = 64.;
+    exec_time;
+    compute_time = exec_time;
+    exchange_bytes_per_core = 0.;
+    hbm_needed_per_core = 0.;
+    max_share_group = 1;
+  }
+
+let dummy_popt ~preload_len =
+  {
+    P.frac = 1.;
+    preload_space = 0.;
+    dist_bytes_per_core = 0.;
+    dist_time = 0.;
+    hbm_device_bytes = 0.;
+    noc_inject_bytes = 0.;
+    preload_len;
+    hbm_floor = preload_len;
+  }
+
+let two_op_graph () =
+  let b = Graph.builder ~name:"manual" in
+  let a = Graph.add b ~role:"a" (Opspec.softmax ~name:"a" ~rows:4 ~cols:4 ()) in
+  let _ = Graph.add b ~deps:[ a ] ~role:"b" (Opspec.softmax ~name:"b" ~rows:4 ~cols:4 ()) in
+  Graph.finish b
+
+let manual_schedule ~windows ~len0 ~len1 ~exec0 ~exec1 =
+  let graph = two_op_graph () in
+  let entry id len exec =
+    {
+      Elk.Schedule.node_id = id;
+      plan = dummy_plan ~exec_time:exec;
+      popt = dummy_popt ~preload_len:len;
+      preload_len = len;
+      dist_time = 0.;
+    }
+  in
+  {
+    Elk.Schedule.graph;
+    order = [| 0; 1 |];
+    windows;
+    entries = [| entry 0 len0 exec0; entry 1 len1 exec1 |];
+    est_total = 0.;
+  }
+
+let test_manual_timeline_overlap () =
+  (* Windows [1;1;0]: op1's preload overlaps op0's execution.
+     pre0=[0,5us], exe0=[5,15], pre1=[5,10] (gate-free window 1),
+     exe1=[max(15,10)=15, 25].  Total 25us; overlap = pre1 within exe0
+     = 5us; preload-only = pre0 = 5us. *)
+  let s = manual_schedule ~windows:[| 1; 1; 0 |] ~len0:5e-6 ~len1:5e-6 ~exec0:10e-6 ~exec1:10e-6 in
+  (match Elk.Schedule.validate s with Ok () -> () | Error m -> Alcotest.fail m);
+  let tl = Elk.Timeline.evaluate (ctx ()) s in
+  Tu.check_close ~eps:1e-12 "total" 25e-6 tl.Elk.Timeline.total;
+  Tu.check_close ~eps:1e-12 "pre0 end" 5e-6 tl.Elk.Timeline.per_op.(0).Elk.Timeline.pre_end;
+  Tu.check_close ~eps:1e-12 "exe0 start" 5e-6 tl.Elk.Timeline.per_op.(0).Elk.Timeline.exe_start;
+  Tu.check_close ~eps:1e-12 "pre1 start" 5e-6 tl.Elk.Timeline.per_op.(1).Elk.Timeline.pre_start;
+  Tu.check_close ~eps:1e-12 "exe1 start" 15e-6 tl.Elk.Timeline.per_op.(1).Elk.Timeline.exe_start;
+  Tu.check_close ~eps:1e-12 "overlap" 5e-6 tl.Elk.Timeline.bd.Elk.Timeline.overlapped;
+  Tu.check_close ~eps:1e-12 "preload only" 5e-6 tl.Elk.Timeline.bd.Elk.Timeline.preload_only
+
+let test_manual_timeline_serialized () =
+  (* Windows [2;0;0]: both preloads in the initial batch, sequential on the
+     preload channel: pre0=[0,5], pre1=[5,10], exe0=[5,15], exe1=[15,25]. *)
+  let s = manual_schedule ~windows:[| 2; 0; 0 |] ~len0:5e-6 ~len1:5e-6 ~exec0:10e-6 ~exec1:10e-6 in
+  let tl = Elk.Timeline.evaluate (ctx ()) s in
+  Tu.check_close ~eps:1e-12 "pre1 right after pre0" 5e-6
+    tl.Elk.Timeline.per_op.(1).Elk.Timeline.pre_start;
+  Tu.check_close ~eps:1e-12 "total" 25e-6 tl.Elk.Timeline.total
+
+let three_op_schedule ~windows =
+  let b = Graph.builder ~name:"manual3" in
+  let a = Graph.add b ~role:"a" (Opspec.softmax ~name:"a" ~rows:4 ~cols:4 ()) in
+  let c = Graph.add b ~deps:[ a ] ~role:"b" (Opspec.softmax ~name:"b" ~rows:4 ~cols:4 ()) in
+  let _ = Graph.add b ~deps:[ c ] ~role:"c" (Opspec.softmax ~name:"c" ~rows:4 ~cols:4 ()) in
+  let graph = Graph.finish b in
+  let entry id =
+    {
+      Elk.Schedule.node_id = id;
+      plan = dummy_plan ~exec_time:10e-6;
+      popt = dummy_popt ~preload_len:5e-6;
+      preload_len = 5e-6;
+      dist_time = 0.;
+    }
+  in
+  {
+    Elk.Schedule.graph;
+    order = [| 0; 1; 2 |];
+    windows;
+    entries = [| entry 0; entry 1; entry 2 |];
+    est_total = 0.;
+  }
+
+let test_manual_timeline_gated () =
+  (* Windows [1;1;1;0]: op2's preload sits in window 2, which may only
+     start once op0's execution has finished (rule 1 of §4.5):
+     pre0=[0,5], exe0=[5,15], pre1=[5,10], pre2=[max(10, exe_end0=15)=15,20],
+     exe1=[15,25], exe2=[25,35]. *)
+  let s = three_op_schedule ~windows:[| 1; 1; 1; 0 |] in
+  (match Elk.Schedule.validate s with Ok () -> () | Error m -> Alcotest.fail m);
+  let tl = Elk.Timeline.evaluate (ctx ()) s in
+  Tu.check_close ~eps:1e-12 "pre2 gated by exe0 end" 15e-6
+    tl.Elk.Timeline.per_op.(2).Elk.Timeline.pre_start;
+  Tu.check_close ~eps:1e-12 "total" 35e-6 tl.Elk.Timeline.total
+
+let test_manual_long_preload_stalls () =
+  (* A 30us preload for op1 cannot hide behind a 10us execution: exe1
+     starts when its preload lands. *)
+  let s = manual_schedule ~windows:[| 1; 1; 0 |] ~len0:5e-6 ~len1:30e-6 ~exec0:10e-6 ~exec1:10e-6 in
+  let tl = Elk.Timeline.evaluate (ctx ()) s in
+  Tu.check_close ~eps:1e-12 "exe1 waits for preload" 35e-6
+    tl.Elk.Timeline.per_op.(1).Elk.Timeline.exe_start;
+  Tu.check_close ~eps:1e-12 "total" 45e-6 tl.Elk.Timeline.total
+
+let test_validate_rejects_late_window () =
+  (* Op 0 preloaded in window 1 would start during its own execution. *)
+  let s = manual_schedule ~windows:[| 0; 2; 0 |] ~len0:1e-6 ~len1:1e-6 ~exec0:1e-6 ~exec1:1e-6 in
+  Alcotest.(check bool) "invalid" true (Elk.Schedule.validate s <> Ok ())
+
+let test_program_of_manual () =
+  let s = manual_schedule ~windows:[| 1; 1; 0 |] ~len0:1e-6 ~len1:1e-6 ~exec0:1e-6 ~exec1:1e-6 in
+  let p = Elk.Program.of_schedule s in
+  Alcotest.(check bool) "P0 P1 E0 E1" true
+    (p.Elk.Program.instrs
+    = [|
+        Elk.Program.Preload_async 0; Elk.Program.Preload_async 1; Elk.Program.Execute 0;
+        Elk.Program.Execute 1;
+      |])
+
+(* ------------------------------------------------------------------ *)
+(* Randomized pipeline properties                                     *)
+(* ------------------------------------------------------------------ *)
+
+let random_graph rng =
+  let b = Graph.builder ~name:"rand" in
+  let n = 3 + Elk_util.Xrng.int rng 10 in
+  for i = 0 to n - 1 do
+    let op =
+      match Elk_util.Xrng.int rng 4 with
+      | 0 ->
+          Opspec.matmul
+            ~name:(Printf.sprintf "mm%d" i)
+            ~m:(1 + Elk_util.Xrng.int rng 32)
+            ~n:(8 + Elk_util.Xrng.int rng 128)
+            ~k:(8 + Elk_util.Xrng.int rng 128)
+            ()
+      | 1 ->
+          Opspec.softmax
+            ~name:(Printf.sprintf "sm%d" i)
+            ~rows:(1 + Elk_util.Xrng.int rng 64)
+            ~cols:(8 + Elk_util.Xrng.int rng 128)
+            ()
+      | 2 ->
+          Opspec.norm
+            ~name:(Printf.sprintf "nr%d" i)
+            ~rows:(1 + Elk_util.Xrng.int rng 64)
+            ~cols:(8 + Elk_util.Xrng.int rng 128)
+            ()
+      | _ ->
+          Opspec.batch_matmul
+            ~name:(Printf.sprintf "bm%d" i)
+            ~batch:(1 + Elk_util.Xrng.int rng 8)
+            ~m:(1 + Elk_util.Xrng.int rng 8)
+            ~n:(4 + Elk_util.Xrng.int rng 32)
+            ~k:(4 + Elk_util.Xrng.int rng 32)
+            ()
+    in
+    ignore (Graph.add b ~role:(Printf.sprintf "op%d" i) op)
+  done;
+  Graph.finish b
+
+let qcheck_pipeline_roundtrip =
+  Tu.qtest ~count:30 "pipeline: schedule -> program -> timeline -> sim all valid"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Elk_util.Xrng.create seed in
+      let g = random_graph rng in
+      let c = ctx () in
+      let s = Elk.Scheduler.run c g in
+      let ok_sched = Elk.Schedule.validate s = Ok () in
+      let p = Elk.Program.of_schedule s in
+      let ok_prog = Elk.Program.validate p ~n:(Graph.length g) = Ok () in
+      let tl = Elk.Timeline.evaluate c s in
+      let sim = Elk_sim.Sim.run c s in
+      ok_sched && ok_prog
+      && tl.Elk.Timeline.total > 0.
+      && sim.Elk_sim.Sim.total > 0.
+      (* The analytic estimate and the simulator agree within 3x both
+         ways on arbitrary graphs. *)
+      && sim.Elk_sim.Sim.total < 3. *. tl.Elk.Timeline.total +. 1e-5
+      && tl.Elk.Timeline.total < 3. *. sim.Elk_sim.Sim.total +. 1e-5)
+
+let qcheck_sim_not_faster_than_chains =
+  Tu.qtest ~count:20 "sim: makespan bounded below by both critical chains"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Elk_util.Xrng.create seed in
+      let g = random_graph rng in
+      let c = ctx () in
+      let s = Elk.Scheduler.run c g in
+      let sim = Elk_sim.Sim.run c s in
+      let chip = P.ctx_chip c in
+      let hbm_chain =
+        Graph.total_hbm_bytes g /. chip.Elk_arch.Arch.hbm_bandwidth
+      in
+      let compute_chain =
+        Array.fold_left
+          (fun a e ->
+            a
+            +. (e.Elk.Schedule.plan.P.compute_time
+               /. (1.03 (* skew upper bound *))))
+          0. s.Elk.Schedule.entries
+        *. 0.3
+        (* entries hold predicted times; the device truth differs, so only
+           a loose lower bound is safe *)
+      in
+      sim.Elk_sim.Sim.total >= hbm_chain *. 0.99
+      && sim.Elk_sim.Sim.total >= compute_chain)
+
+let qcheck_reorders_schedulable =
+  Tu.qtest ~count:10 "pipeline: candidate orders schedule and validate"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      ignore seed;
+      let c = ctx () in
+      let g = Lazy.force Tu.tiny_llama_chip_graph in
+      let orders = Elk.Reorder.candidate_orders ~max_orders:4 c g in
+      List.for_all
+        (fun order ->
+          try
+            let s = Elk.Scheduler.run ~order c g in
+            Elk.Schedule.validate s = Ok ()
+          with Elk.Scheduler.Infeasible _ -> true)
+        orders)
+
+let suite =
+  [
+    ("manual: overlap timeline", `Quick, test_manual_timeline_overlap);
+    ("manual: serialized prebatch", `Quick, test_manual_timeline_serialized);
+    ("manual: gated window", `Quick, test_manual_timeline_gated);
+    ("manual: long preload stalls", `Quick, test_manual_long_preload_stalls);
+    ("manual: late window invalid", `Quick, test_validate_rejects_late_window);
+    ("manual: program layout", `Quick, test_program_of_manual);
+    qcheck_pipeline_roundtrip;
+    qcheck_sim_not_faster_than_chains;
+    qcheck_reorders_schedulable;
+  ]

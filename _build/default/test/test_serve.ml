@@ -1,0 +1,104 @@
+open Elk_serve
+module B = Elk_baselines.Baselines
+
+let cfg () = Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:16 ~layer_factor:20
+let env () = Elk_dse.Dse.env ()
+
+let small_run =
+  lazy
+    (Serve.serve ~design:B.Elk_dyn
+       (Elk_dse.Dse.env ())
+       (Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:16 ~layer_factor:20)
+       ~batch:8 ~prompt_ctx:100 ~tokens:40)
+
+let test_step_structure () =
+  let r = Lazy.force small_run in
+  Alcotest.(check int) "all tokens" 40 (List.length r.Serve.steps);
+  List.iteri
+    (fun i (s : Serve.step) ->
+      Alcotest.(check int) "token index" i s.Serve.token;
+      Alcotest.(check int) "ctx grows" (100 + i) s.Serve.ctx;
+      Alcotest.(check bool) "positive latency" true (s.Serve.latency > 0.))
+    r.Serve.steps
+
+let test_plan_reuse () =
+  (* 40 tokens from ctx 100 with quantum 64: plans at 128 and 192 only. *)
+  let r = Lazy.force small_run in
+  Alcotest.(check int) "two plans" 2 r.Serve.recompilations;
+  Alcotest.(check int) "recompile flags match plans" 2
+    (List.length (List.filter (fun s -> s.Serve.recompiled) r.Serve.steps))
+
+let test_latency_grows_with_kv () =
+  (* Later steps carry a larger KV cache; the last plan cannot be faster
+     than the first. *)
+  let r = Lazy.force small_run in
+  Alcotest.(check bool) "kv growth costs" true
+    (Serve.last_latency r
+    >= (match r.Serve.steps with s :: _ -> s.Serve.latency *. 0.999 | [] -> 0.))
+
+let test_totals_consistent () =
+  let r = Lazy.force small_run in
+  Tu.check_rel "total = sum of steps" ~tolerance:1e-9
+    (List.fold_left (fun a (s : Serve.step) -> a +. s.Serve.latency) 0. r.Serve.steps)
+    r.Serve.total_time;
+  Tu.check_rel "tok/s" ~tolerance:1e-9
+    (40. /. r.Serve.total_time)
+    r.Serve.tokens_per_second
+
+let test_recompile_quantum () =
+  let r =
+    Serve.serve ~design:B.Basic ~recompile_every:16 (env ()) (cfg ()) ~batch:4
+      ~prompt_ctx:30 ~tokens:40
+  in
+  (* ctx spans 30..69 -> plan boundaries 32, 48, 64, 80. *)
+  Alcotest.(check int) "four plans" 4 r.Serve.recompilations
+
+let test_rejects_bad_args () =
+  Alcotest.(check bool) "tokens" true
+    (try
+       ignore (Serve.serve (env ()) (cfg ()) ~batch:4 ~prompt_ctx:10 ~tokens:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ideal rejected" true
+    (try
+       ignore
+         (Serve.serve ~design:B.Ideal (env ()) (cfg ()) ~batch:4 ~prompt_ctx:10 ~tokens:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_elk_serves_faster_than_basic () =
+  let run design =
+    Serve.serve ~design (env ()) (cfg ()) ~batch:8 ~prompt_ctx:100 ~tokens:16
+  in
+  let basic = run B.Basic and elk = run B.Elk_dyn in
+  Alcotest.(check bool) "elk >= basic throughput" true
+    (elk.Serve.tokens_per_second >= basic.Serve.tokens_per_second *. 0.999)
+
+
+let test_prefill_ttft () =
+  let r =
+    Serve.serve ~design:B.Elk_dyn ~prefill:true (env ()) (cfg ()) ~batch:4 ~prompt_ctx:64
+      ~tokens:4
+  in
+  Alcotest.(check bool) "prefill latency positive" true (r.Serve.prefill_latency > 0.);
+  Tu.check_rel "ttft = prefill + first step" ~tolerance:1e-9
+    (r.Serve.prefill_latency
+    +. match r.Serve.steps with s :: _ -> s.Serve.latency | [] -> 0.)
+    (Serve.time_to_first_token r);
+  (* Prefill processes 64x the tokens of one decode step; even with
+     per-op overheads dominating at this tiny scale it must cost more
+     than a decode step. *)
+  Alcotest.(check bool) "prefill costlier than a decode step" true
+    (r.Serve.prefill_latency > Serve.mean_latency r)
+
+let suite =
+  [
+    ("serve: step structure", `Slow, test_step_structure);
+    ("serve: plan reuse", `Slow, test_plan_reuse);
+    ("serve: latency grows with KV", `Slow, test_latency_grows_with_kv);
+    ("serve: totals consistent", `Slow, test_totals_consistent);
+    ("serve: recompile quantum", `Slow, test_recompile_quantum);
+    ("serve: rejects bad args", `Quick, test_rejects_bad_args);
+    ("serve: prefill ttft", `Slow, test_prefill_ttft);
+    ("serve: elk vs basic throughput", `Slow, test_elk_serves_faster_than_basic);
+  ]
