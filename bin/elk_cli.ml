@@ -73,6 +73,66 @@ let build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill =
 
 let make_env ~chips ~cores ~topology = D.env ~chips ~cores ~topology ()
 
+(* ---- observability export flags (shared by compile/compare/report/profile) *)
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ]
+        ~doc:
+          "Write collected metrics to $(docv): Prometheus text format, or JSON \
+           if the file name ends in .json.")
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Write a Chrome/Perfetto trace to $(docv) containing the compiler \
+           spans (and, where a simulation ran, the simulated device events) \
+           on one timeline.")
+
+(* Enable collection before any work runs if an export was requested. *)
+let obs_setup ~metrics_out ~trace_out =
+  if metrics_out <> None || trace_out <> None then Elk_obs.Control.enable ()
+
+(* A bad export path should fail with a clean message, not cmdliner's
+   uncaught-exception banner. *)
+let failing_write ~what f =
+  try f () with Sys_error msg ->
+    Format.eprintf "elk_cli: cannot write %s: %s@." what msg;
+    exit 1
+
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+      let data =
+        if Filename.check_suffix path ".json" then Elk_obs.Metrics.to_json ()
+        else Elk_obs.Metrics.to_prometheus ()
+      in
+      failing_write ~what:"metrics" (fun () ->
+          let oc = open_out path in
+          output_string oc data;
+          close_out oc);
+      Format.printf "wrote metrics to %s@." path
+
+(* Merge simulator events (tracks 1-2) with compiler spans (track 3). *)
+let write_trace ?sim trace_out =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      let sim_events =
+        match sim with
+        | Some (graph, r) ->
+            Elk_sim.Trace.chrome_meta @ Elk_sim.Trace.chrome_events graph r
+        | None -> []
+      in
+      let events = sim_events @ Elk_obs.Span.chrome_events () in
+      failing_write ~what:"trace" (fun () -> Elk_obs.Chrome.write ~path events);
+      Format.printf "wrote trace (%d events) to %s@." (List.length events) path
+
 let info_cmd =
   let run cfg scale layer_factor batch ctx prefill =
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
@@ -87,7 +147,8 @@ let info_cmd =
 
 let compile_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology trace codegen_dir
-      save_plan =
+      save_plan metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
@@ -107,11 +168,17 @@ let compile_cmd =
         Format.printf "wrote %d kernels (%d LoC) to %s@."
           (List.length gen.Elk.Codegen.kernels)
           (Elk.Codegen.total_loc gen) dir);
-    match save_plan with
+    (match save_plan with
     | None -> ()
     | Some path ->
         Elk.Planio.save ~path c.Elk.Compile.schedule;
-        Format.printf "saved plan to %s@." path
+        Format.printf "saved plan to %s@." path);
+    (match trace_out with
+    | None -> ()
+    | Some _ ->
+        let r = Elk_sim.Sim.run env.D.ctx c.Elk.Compile.schedule in
+        write_trace ~sim:(c.Elk.Compile.chip_graph, r) trace_out);
+    write_metrics metrics_out
   in
   let trace_t =
     Arg.(value & opt (some string) None
@@ -128,10 +195,13 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model with Elk and print the plan summary.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ trace_t $ codegen_t $ save_plan_t)
+      $ chips_t $ cores_t $ topo_t $ trace_t $ codegen_t $ save_plan_t $ metrics_out_t
+      $ trace_out_t)
 
 let compare_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
+      trace_out =
+    obs_setup ~metrics_out ~trace_out;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let t =
@@ -149,13 +219,15 @@ let compare_cmd =
             Printf.sprintf "%.1f%%" (100. *. e.D.noc_util);
             Printf.sprintf "%.2f" e.D.tflops ])
       B.all;
-    Elk_util.Table.print t
+    Elk_util.Table.print t;
+    write_trace trace_out;
+    write_metrics metrics_out
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Evaluate all designs on one model with the simulator.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t)
+      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
 
 let program_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology design limit =
@@ -186,22 +258,78 @@ let program_cmd =
       $ chips_t $ cores_t $ topo_t $ design_t $ limit_t)
 
 let report_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
+      trace_out =
+    obs_setup ~metrics_out ~trace_out;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
     let r = Elk_sim.Sim.run env.D.ctx c.Elk.Compile.schedule in
-    Elk_dse.Report.print env c r
+    Elk_dse.Report.print env c r;
+    write_trace ~sim:(c.Elk.Compile.chip_graph, r) trace_out;
+    write_metrics metrics_out
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Compile, simulate and print a Markdown diagnostics report.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t)
+      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
+
+let profile_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
+      trace_out =
+    Elk_obs.Control.enable ();
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
+    let totals = Elk_obs.Span.totals () in
+    let overall =
+      match List.find_opt (fun (name, _, _) -> name = "compile") totals with
+      | Some (_, _, tot) -> tot
+      | None -> List.fold_left (fun a (_, _, tot) -> a +. tot) 0. totals
+    in
+    let fmt_t v = Format.asprintf "%a" Elk_util.Units.pp_time v in
+    let t =
+      Elk_util.Table.create
+        ~title:
+          (Printf.sprintf "compile phases for %s (%d orders tried)"
+             (Elk_model.Graph.name g) c.Elk.Compile.orders_tried)
+        ~columns:[ "phase"; "calls"; "total"; "mean"; "share" ]
+    in
+    List.iter
+      (fun (name, calls, tot) ->
+        Elk_util.Table.add_row t
+          [
+            name;
+            string_of_int calls;
+            fmt_t tot;
+            fmt_t (tot /. float_of_int (max 1 calls));
+            Printf.sprintf "%.1f%%" (100. *. tot /. Float.max 1e-12 overall);
+          ])
+      totals;
+    Elk_util.Table.print t;
+    let ct =
+      Elk_util.Table.create ~title:"compile counters" ~columns:[ "counter"; "value" ]
+    in
+    List.iter
+      (fun (name, v) -> Elk_util.Table.add_row ct [ name; Printf.sprintf "%.0f" v ])
+      (Elk_obs.Metrics.counters ());
+    Elk_util.Table.print ct;
+    write_trace trace_out;
+    write_metrics metrics_out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile a model with span collection on and print a per-phase \
+          compile-time table.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
 
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "elk_cli" ~doc)
-          [ info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd ]))
+          [ info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; profile_cmd ]))

@@ -23,62 +23,87 @@ type t = {
   compile_seconds : float;
 }
 
+module Span = Elk_obs.Span
+module Metrics = Elk_obs.Metrics
+
 let compile ?(options = default_options) ctx ~pod graph =
-  let t0 = Unix.gettimeofday () in
-  let graph = if options.fuse then Fusion.fuse graph else graph in
-  let chip_graph =
-    Opsplit.split_graph ctx (Sharding.shard_graph ~chips:pod.Elk_arch.Arch.chips graph)
-  in
-  let orders =
-    if options.reorder then
-      Reorder.candidate_orders ~max_orders:options.max_orders
-        ~max_edit_distance:options.max_edit_distance ctx chip_graph
-    else [ Array.init (Elk_model.Graph.length chip_graph) (fun i -> i) ]
-  in
-  let best = ref None and tried = ref 0 in
-  List.iter
-    (fun order ->
-      match
-        (try
-           let s = Scheduler.run ~order ~max_preload:options.max_preload ctx chip_graph in
-           Some (s, Timeline.evaluate ctx s)
-         with Scheduler.Infeasible _ -> None)
-      with
-      | None -> ()
-      | Some (s, tl) ->
-          incr tried;
-          (match !best with
-          | Some (_, btl) when btl.Timeline.total <= tl.Timeline.total -> ()
-          | _ -> best := Some (s, tl)))
-    orders;
-  match !best with
-  | None ->
-      (* Re-run in execution order to surface the underlying error. *)
-      let s = Scheduler.run ctx chip_graph in
-      let tl = Timeline.evaluate ctx s in
-      {
-        pod;
-        graph;
-        chip_graph;
-        schedule = s;
-        timeline = tl;
-        program = Program.of_schedule s;
-        allreduce = Sharding.allreduce_time pod chip_graph;
-        orders_tried = 1;
-        compile_seconds = Unix.gettimeofday () -. t0;
-      }
-  | Some (s, tl) ->
-      {
-        pod;
-        graph;
-        chip_graph;
-        schedule = s;
-        timeline = tl;
-        program = Program.of_schedule s;
-        allreduce = Sharding.allreduce_time pod chip_graph;
-        orders_tried = !tried;
-        compile_seconds = Unix.gettimeofday () -. t0;
-      }
+  Span.with_span "compile"
+    ~attrs:[ ("model", Elk_model.Graph.name graph) ]
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let graph =
+        if options.fuse then Span.with_span "fuse" (fun () -> Fusion.fuse graph)
+        else graph
+      in
+      let chip_graph =
+        Span.with_span "shard" (fun () ->
+            Opsplit.split_graph ctx
+              (Sharding.shard_graph ~chips:pod.Elk_arch.Arch.chips graph))
+      in
+      let orders =
+        Span.with_span "order-gen" (fun () ->
+            if options.reorder then
+              Reorder.candidate_orders ~max_orders:options.max_orders
+                ~max_edit_distance:options.max_edit_distance ctx chip_graph
+            else [ Array.init (Elk_model.Graph.length chip_graph) (fun i -> i) ])
+      in
+      let best = ref None and tried = ref 0 in
+      List.iter
+        (fun order ->
+          Metrics.incr "elk_compile_orders_tried_total"
+            ~help:"Candidate preload orders attempted by the scheduler";
+          match
+            (try
+               let s =
+                 Span.with_span "schedule" (fun () ->
+                     Scheduler.run ~order ~max_preload:options.max_preload ctx
+                       chip_graph)
+               in
+               Some (s, Span.with_span "timeline-eval" (fun () -> Timeline.evaluate ctx s))
+             with Scheduler.Infeasible _ ->
+               Metrics.incr "elk_compile_orders_infeasible_total"
+                 ~help:"Candidate preload orders rejected as infeasible";
+               None)
+          with
+          | None -> ()
+          | Some (s, tl) ->
+              incr tried;
+              (match !best with
+              | Some (_, btl) when btl.Timeline.total <= tl.Timeline.total -> ()
+              | _ -> best := Some (s, tl)))
+        orders;
+      let s, tl, tried =
+        match !best with
+        | Some (s, tl) -> (s, tl, !tried)
+        | None ->
+            (* Re-run in execution order to surface the underlying error. *)
+            let s = Span.with_span "schedule" (fun () -> Scheduler.run ctx chip_graph) in
+            let tl = Span.with_span "timeline-eval" (fun () -> Timeline.evaluate ctx s) in
+            (s, tl, 1)
+      in
+      let t =
+        {
+          pod;
+          graph;
+          chip_graph;
+          schedule = s;
+          timeline = tl;
+          program = Program.of_schedule s;
+          allreduce = Sharding.allreduce_time pod chip_graph;
+          orders_tried = tried;
+          compile_seconds = Unix.gettimeofday () -. t0;
+        }
+      in
+      Elk_obs.Logger.info ~src:"compile"
+        ~kvs:
+          [
+            ("model", Elk_model.Graph.name graph);
+            ("orders_tried", string_of_int tried);
+            ("latency_s", Printf.sprintf "%.6g" (tl.Timeline.total +. t.allreduce));
+            ("compile_s", Printf.sprintf "%.3f" t.compile_seconds);
+          ]
+        "compiled plan";
+      t)
 
 let latency t = t.timeline.Timeline.total +. t.allreduce
 

@@ -44,6 +44,8 @@ let best_opt_within ctx op plan ~space =
    where span(i) comes from the cost-aware allocator run over the
    operators resident on chip at that horizon. *)
 let run ?order ?(max_preload = 32) ctx graph =
+  Elk_obs.Metrics.incr "elk_scheduler_runs_total"
+    ~help:"Scheduler invocations (one per candidate preload order)";
   let n = Graph.length graph in
   if n = 0 then raise (Infeasible "empty graph");
   let order =
@@ -94,10 +96,16 @@ let run ?order ?(max_preload = 32) ctx graph =
     let candidates = ref [] in
     let h = ref h_low in
     let stop = ref false in
+    Elk_obs.Span.with_span "allocate" (fun () ->
     while (not !stop) && !h <= h_high do
       let window = resident_upto !h in
       (match Alloc.allocate ctx ~capacity ~exec_op:node ~window with
-      | None -> stop := true
+      | None ->
+          (* The residency window overflowed SRAM: the horizon search
+             backtracks to the candidates collected so far. *)
+          Elk_obs.Metrics.incr "elk_scheduler_backtracks_total"
+            ~help:"Horizon searches stopped by an SRAM-overflowing window";
+          stop := true
       | Some alloc ->
           (* Estimate op i's own distribution time from the option that
              would fit in the spare capacity left by this combination. *)
@@ -110,7 +118,7 @@ let run ?order ?(max_preload = 32) ctx graph =
           let bound = Float.min next_s_exe (s_pre_pos !h) in
           candidates := (bound -. span, span, !h, alloc, bound) :: !candidates);
       incr h
-    done;
+    done);
     (* Keep the best start time; among near-ties take the largest horizon —
        a larger horizon only relaxes the gates of earlier operators. *)
     let best =
@@ -136,6 +144,11 @@ let run ?order ?(max_preload = 32) ctx graph =
         (* Even the minimal residency overflows the SRAM: fall back to the
            smallest plans, tolerating the capacity violation (the timeline
            and simulator will charge the contention). *)
+        Elk_obs.Metrics.incr "elk_scheduler_retries_total"
+          ~help:"Operators retried with smallest-plan fallback after overflow";
+        Elk_obs.Logger.debug ~src:"scheduler"
+          ~kvs:[ ("op", node.Graph.op.Elk_tensor.Opspec.name) ]
+          "smallest-plan fallback";
         let frontier = P.exec_frontier ctx node.Graph.op in
         (match frontier with
         | [] ->

@@ -76,6 +76,10 @@ let plan_elk_full_sim env graph (options : Elk.Compile.options) =
     None orders
 
 let evaluate ?elk_options env graph design =
+  Elk_obs.Span.with_span "dse-eval"
+    ~attrs:[ ("design", B.name design); ("model", Elk_model.Graph.name graph) ]
+  @@ fun () ->
+  Elk_obs.Metrics.incr "elk_dse_evals_total" ~help:"Design-point evaluations";
   let chips = env.pod.Arch.chips in
   let elk_full_sim =
     if design = B.Elk_full then

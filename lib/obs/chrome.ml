@@ -1,0 +1,27 @@
+let us t = t *. 1e6
+
+let complete_event ?(pid = 1) ~tid ~name ?(cat = "elk") ~start ~dur ~args () =
+  let args_s =
+    match args with
+    | [] -> "{}"
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Jsonx.quote k ^ ":" ^ v) kvs)
+        ^ "}"
+  in
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+    (Jsonx.quote name) (Jsonx.quote cat) pid tid (us start) (us dur) args_s
+
+let thread_name ~pid ~tid name =
+  Printf.sprintf
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+    pid tid (Jsonx.quote name)
+
+let wrap events = "{\"traceEvents\":[\n" ^ String.concat ",\n" events ^ "\n]}\n"
+
+let write ~path events =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (wrap events))

@@ -1,0 +1,30 @@
+(** Chrome/Perfetto trace-event JSON building blocks.
+
+    Events are rendered as raw JSON object strings so that producers in
+    different libraries ({!Elk_sim.Trace} for simulator events, {!Span}
+    for compiler spans) can be concatenated into one timeline file
+    without an intermediate JSON document type. *)
+
+val complete_event :
+  ?pid:int ->
+  tid:int ->
+  name:string ->
+  ?cat:string ->
+  start:float ->
+  dur:float ->
+  args:(string * string) list ->
+  unit ->
+  string
+(** One complete ("ph":"X") event.  [start] and [dur] are in seconds and
+    are converted to the microsecond timestamps the format requires.
+    [args] values are raw JSON fragments (already quoted/rendered); keys
+    are escaped here. *)
+
+val thread_name : pid:int -> tid:int -> string -> string
+(** A thread_name metadata event labelling a track. *)
+
+val wrap : string list -> string
+(** Wrap rendered events into a [{"traceEvents":[...]}] document. *)
+
+val write : path:string -> string list -> unit
+(** [wrap] to a file. *)

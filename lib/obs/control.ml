@@ -1,0 +1,21 @@
+let enabled = ref false
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let () =
+  match Sys.getenv_opt "ELK_OBS" with
+  | Some ("1" | "true" | "on" | "yes") -> enabled := true
+  | _ -> ()
+
+(* A benign race under parallel domains: a stale [last] only makes the
+   clamp looser, never produces a negative interval within one domain. *)
+let last = ref 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then begin
+    last := t;
+    t
+  end
+  else !last

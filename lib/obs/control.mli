@@ -1,0 +1,19 @@
+(** Global on/off switch and clock source for the observability runtime.
+
+    Instrumentation is compiled into the hot paths unconditionally but
+    guarded by {!is_enabled}; when disabled (the default) every
+    instrumentation call is a branch on a ref — the no-op fast path the
+    benchmark harness relies on.  Setting [ELK_OBS=1] in the environment
+    enables collection at program start; the CLI enables it explicitly
+    when an export flag is passed. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+(** Whether metrics, spans, and hot-path counters are being recorded. *)
+
+val now : unit -> float
+(** Monotonized wall-clock time in seconds: [Unix.gettimeofday] clamped
+    to be non-decreasing across calls, so span durations are never
+    negative even if the system clock steps backwards. *)

@@ -1,0 +1,21 @@
+(** JSON string escaping shared by every exporter that emits JSON by hand
+    (the Chrome-trace writers, the metrics JSON exporter).
+
+    [Elk_sim.Trace] historically carried its own partial escaper that
+    missed control characters; this module is the single, complete
+    implementation. *)
+
+val escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal: quotes,
+    backslashes, and every control character below [0x20] (named escapes
+    for [\n \r \t \b \f], [\u00XX] for the rest).  Does not add the
+    surrounding quotes. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes — a complete JSON
+    string literal. *)
+
+val number : float -> string
+(** Render a float as a JSON number: integral values without a fraction,
+    others with round-trip precision.  Non-finite values (which JSON
+    cannot represent) render as [null]. *)

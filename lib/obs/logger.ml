@@ -1,0 +1,50 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let threshold : level option ref =
+  ref
+    (match Sys.getenv_opt "ELK_LOG" with
+    | Some s -> level_of_string s
+    | None -> None)
+
+let set_level l = threshold := l
+let level () = !threshold
+
+let enabled l =
+  match !threshold with None -> false | Some t -> severity l >= severity t
+
+let needs_quote v =
+  v = ""
+  || String.exists (fun c -> c = ' ' || c = '"' || c = '=' || Char.code c < 0x20) v
+
+let kv_value v = if needs_quote v then Jsonx.quote v else v
+
+let log l ~src ?(kvs = []) msg =
+  if enabled l then begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf "level=%s src=%s msg=%s" (level_name l) src (kv_value msg));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b (kv_value v))
+      kvs;
+    prerr_endline (Buffer.contents b)
+  end
+
+let debug ~src ?kvs msg = log Debug ~src ?kvs msg
+let info ~src ?kvs msg = log Info ~src ?kvs msg
+let warn ~src ?kvs msg = log Warn ~src ?kvs msg
+let error ~src ?kvs msg = log Error ~src ?kvs msg

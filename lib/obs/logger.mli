@@ -1,0 +1,36 @@
+(** Structured, level-filtered logging.
+
+    Lines are written to [stderr] in a flat [key=value] format:
+
+    {v level=info src=compile msg="compiled plan" model=llama2-13b orders=24 v}
+
+    Logging is off by default; it is enabled either programmatically with
+    {!set_level} or by the [ELK_LOG] environment variable
+    ([debug]/[info]/[warn]/[error]), read once at program start.
+    Independent of {!Control.is_enabled}: logs can be turned on without
+    paying for metric and span collection, and vice versa. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> level option
+(** Case-insensitive parse; [warning] is accepted for [Warn]. *)
+
+val level_name : level -> string
+
+val set_level : level option -> unit
+(** [set_level None] disables logging entirely. *)
+
+val level : unit -> level option
+
+val enabled : level -> bool
+(** Whether a message at this level would currently be emitted. *)
+
+val log : level -> src:string -> ?kvs:(string * string) list -> string -> unit
+(** Emit one line if [enabled level].  [src] names the subsystem
+    (e.g. ["compile"], ["serve"]); [kvs] are appended as [k=v] pairs with
+    values quoted when they contain spaces or special characters. *)
+
+val debug : src:string -> ?kvs:(string * string) list -> string -> unit
+val info : src:string -> ?kvs:(string * string) list -> string -> unit
+val warn : src:string -> ?kvs:(string * string) list -> string -> unit
+val error : src:string -> ?kvs:(string * string) list -> string -> unit

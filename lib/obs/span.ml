@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  start : float;
+  dur : float;
+  depth : int;
+  seq : int;
+  attrs : (string * string) list;
+}
+
+let lock = Mutex.create ()
+let completed : t list ref = ref [] (* reverse completion order *)
+let n_completed = ref 0
+let depth = ref 0
+
+let clear () =
+  Mutex.lock lock;
+  completed := [];
+  n_completed := 0;
+  depth := 0;
+  Mutex.unlock lock
+
+let with_span ?(attrs = []) name f =
+  if not (Control.is_enabled ()) then f ()
+  else begin
+    Mutex.lock lock;
+    let d = !depth in
+    incr depth;
+    Mutex.unlock lock;
+    let t0 = Control.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Control.now () in
+        Mutex.lock lock;
+        decr depth;
+        incr n_completed;
+        completed :=
+          { name; start = t0; dur = t1 -. t0; depth = d; seq = !n_completed; attrs }
+          :: !completed;
+        Mutex.unlock lock)
+      f
+  end
+
+let spans () =
+  Mutex.lock lock;
+  let s = List.rev !completed in
+  Mutex.unlock lock;
+  s
+
+let count () = !n_completed
+
+let totals () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.name with
+      | None -> Hashtbl.add tbl s.name (s.start, 1, s.dur)
+      | Some (fs, c, tot) ->
+          Hashtbl.replace tbl s.name (Float.min fs s.start, c + 1, tot +. s.dur))
+    (spans ());
+  Hashtbl.fold (fun name (fs, c, tot) acc -> (fs, name, c, tot) :: acc) tbl []
+  |> List.sort compare
+  |> List.map (fun (_, name, c, tot) -> (name, c, tot))
+
+let chrome_events ?(pid = 1) ?(tid = 3) () =
+  match spans () with
+  | [] -> []
+  | ss ->
+      let base = List.fold_left (fun a s -> Float.min a s.start) Float.infinity ss in
+      Chrome.thread_name ~pid ~tid "compiler"
+      :: List.map
+           (fun s ->
+             Chrome.complete_event ~pid ~tid ~name:s.name ~cat:"elk-obs"
+               ~start:(s.start -. base) ~dur:s.dur
+               ~args:(List.map (fun (k, v) -> (k, Jsonx.quote v)) s.attrs)
+               ())
+           ss

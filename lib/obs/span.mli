@@ -1,0 +1,44 @@
+(** Nested timed spans with a process-global, mutex-guarded collector.
+
+    A span measures one contiguous region of work ({!with_span}); spans
+    opened while another is running nest under it.  Completed spans
+    accumulate in the collector until {!clear}; they can be aggregated
+    into a per-phase table ({!totals}) or exported as Chrome-trace events
+    ({!chrome_events}) onto the same timeline format {!Elk_sim.Trace}
+    emits, so compiler phases and simulated device activity can be viewed
+    together in Perfetto.
+
+    When {!Control.is_enabled} is false, {!with_span} runs its thunk
+    directly — the disabled cost is one branch and one closure. *)
+
+type t = {
+  name : string;
+  start : float;  (** {!Control.now} at entry, seconds. *)
+  dur : float;
+  depth : int;  (** nesting depth at entry (0 = top level). *)
+  seq : int;  (** 1-based completion sequence number. *)
+  attrs : (string * string) list;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a span.  The span is recorded even if the thunk
+    raises (the exception propagates). *)
+
+val spans : unit -> t list
+(** Completed spans in completion order (inner spans before the span
+    that contains them). *)
+
+val count : unit -> int
+
+val totals : unit -> (string * int * float) list
+(** Aggregate completed spans by name: [(name, calls, total_seconds)],
+    ordered by each name's first start time — i.e. phase order for a
+    deterministic program. *)
+
+val chrome_events : ?pid:int -> ?tid:int -> unit -> string list
+(** Rendered Chrome-trace events for every completed span (plus a
+    thread_name metadata event), timestamps rebased so the earliest span
+    starts at 0.  Empty if nothing was collected.  Default [tid] is 3 —
+    tracks 1 and 2 belong to {!Elk_sim.Trace}. *)
+
+val clear : unit -> unit

@@ -26,18 +26,30 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
     match Hashtbl.find_opt plans ctx_len with
     | Some entry -> (entry, false)
     | None ->
-        let t0 = Unix.gettimeofday () in
-        let graph = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch; ctx = ctx_len }) in
-        let latency =
-          match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
-          | Some s ->
-              let r = Elk_sim.Sim.run env.D.ctx s in
-              r.Elk_sim.Sim.total
-              +. Elk.Sharding.allreduce_time env.D.pod
-                   (Elk.Sharding.shard_graph ~chips graph)
-          | None -> invalid_arg "Serve.serve: design produced no plan"
+        Elk_obs.Metrics.incr "elk_serve_recompiles_total"
+          ~help:"Decode plans compiled as the KV context grew";
+        Elk_obs.Logger.debug ~src:"serve"
+          ~kvs:[ ("plan_ctx", string_of_int ctx_len) ]
+          "recompiling decode plan";
+        let entry =
+          Elk_obs.Span.with_span "serve-plan"
+            ~attrs:[ ("plan_ctx", string_of_int ctx_len) ]
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let graph =
+                Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch; ctx = ctx_len })
+              in
+              let latency =
+                match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
+                | Some s ->
+                    let r = Elk_sim.Sim.run env.D.ctx s in
+                    r.Elk_sim.Sim.total
+                    +. Elk.Sharding.allreduce_time env.D.pod
+                         (Elk.Sharding.shard_graph ~chips graph)
+                | None -> invalid_arg "Serve.serve: design produced no plan"
+              in
+              (latency, Unix.gettimeofday () -. t0))
         in
-        let entry = (latency, Unix.gettimeofday () -. t0) in
         Hashtbl.add plans ctx_len entry;
         (entry, true)
   in
@@ -45,6 +57,9 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
   let prefill_latency =
     if not prefill then 0.
     else begin
+      Elk_obs.Span.with_span "serve-prefill-plan"
+        ~attrs:[ ("seq", string_of_int prompt_ctx) ]
+      @@ fun () ->
       let t0 = Unix.gettimeofday () in
       let graph = Elk_model.Zoo.build cfg (Elk_model.Zoo.Prefill { batch; seq = prompt_ctx }) in
       let latency =
@@ -65,17 +80,33 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
     let ctx = prompt_ctx + token in
     let plan_ctx = round_up (max 1 ctx) recompile_every in
     let (latency, _), recompiled = plan_for plan_ctx in
+    Elk_obs.Metrics.observe "elk_serve_step_latency_seconds" latency
+      ~help:"Simulated per-token decode latency";
     steps := { token; ctx; latency; recompiled } :: !steps
   done;
   let steps = List.rev !steps in
   let total_time = List.fold_left (fun a s -> a +. s.latency) 0. steps in
   let compile_time = !extra_compile +. Hashtbl.fold (fun _ (_, c) a -> a +. c) plans 0. in
+  let tokens_per_second =
+    if total_time > 0. then float_of_int tokens /. total_time else 0.
+  in
+  Elk_obs.Metrics.set "elk_serve_tokens_per_second" tokens_per_second
+    ~help:"Simulated decode throughput of the last serving run";
+  Elk_obs.Logger.info ~src:"serve"
+    ~kvs:
+      [
+        ("tokens", string_of_int tokens);
+        ("tok_per_s", Printf.sprintf "%.1f" tokens_per_second);
+        ("recompilations", string_of_int (Hashtbl.length plans));
+        ("compile_s", Printf.sprintf "%.2f" compile_time);
+      ]
+    "serving run complete";
   {
     steps;
     prefill_latency;
     total_time;
     compile_time;
-    tokens_per_second = (if total_time > 0. then float_of_int tokens /. total_time else 0.);
+    tokens_per_second;
     recompilations = Hashtbl.length plans;
   }
 

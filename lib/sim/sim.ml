@@ -148,7 +148,7 @@ let core_skew ~skew core op_id =
   let h = Hashtbl.hash (core, op_id, "skew") land 0xFFFF in
   1. -. skew +. (2. *. skew *. (float_of_int h /. 65535.))
 
-let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
+let run_impl ~skew ctx (s : Elk.Schedule.t) =
   (match Elk.Schedule.validate s with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sim.run: invalid schedule: " ^ m));
@@ -175,6 +175,12 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
   let preload_free = ref 0. in
   let stall_interconnect = ref 0. in
   let stall_pre = ref 0. and stall_dist = ref 0. and stall_ex = ref 0. in
+  (* Observability accumulators: issued-but-not-yet-executed preload queue
+     depth, HBM device occupancy, and execute time lost waiting on its own
+     preload.  Plain int/float updates — negligible next to the flow
+     model — recorded into the metrics registry only when enabled. *)
+  let pending = ref 0 and max_pending = ref 0 in
+  let hbm_busy = ref 0. and preload_wait = ref 0. in
   let cores_of plan = plan.P.cores_used in
   Array.iter
     (fun instr ->
@@ -182,6 +188,8 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
       | Elk.Program.Preload_async op ->
           let e = s.Elk.Schedule.entries.(op) in
           let popt = e.Elk.Schedule.popt in
+          incr pending;
+          if !pending > !max_pending then max_pending := !pending;
           (* Rule (1): every execute issued earlier blocks this preload;
              rule (2): preloads are sequential. *)
           let gate = Float.max !exec_ready !preload_free in
@@ -195,6 +203,7 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
               Elk_hbm.Hbm.read hbm_dev ~now:gate ~offset:offsets.(op)
                 ~bytes:popt.P.hbm_device_bytes
             in
+            hbm_busy := !hbm_busy +. (hbm_done -. gate);
             (* Controllers stream to every core in parallel; each core
                receives its preload-space bytes through its own port.  On
                the all-to-all fabric the delivery is a fluid broadcast:
@@ -262,6 +271,8 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
           let plan = e.Elk.Schedule.plan in
           let node = Elk_model.Graph.get graph op in
           let start = Float.max !exec_ready pre_end.(op) in
+          if !pending > 0 then decr pending;
+          preload_wait := !preload_wait +. Float.max 0. (pre_end.(op) -. !exec_ready);
           let ncores = cores_of plan in
           (* Phase 1: data distribution (preload-state to execute-state),
              ring transfers from sharing-group peers. *)
@@ -326,7 +337,25 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
           exec_ready := !ex_end)
     program.Elk.Program.instrs;
   let total = exe_end.(n - 1) in
-  ignore (!stall_pre, !stall_dist, !stall_ex);
+  (let module M = Elk_obs.Metrics in
+   M.incr "elk_sim_runs_total" ~help:"Simulator invocations";
+   M.incr "elk_sim_events_total"
+     ~by:(float_of_int (Array.length program.Elk.Program.instrs))
+     ~help:"Device program instructions interpreted (preloads + executes)";
+   M.incr "elk_sim_interconnect_stall_seconds_total" ~by:!stall_interconnect
+     ~help:"Simulated time lost to interconnect contention";
+   M.incr "elk_sim_preload_contention_seconds_total" ~by:!stall_pre
+     ~help:"Interconnect stall during preload delivery";
+   M.incr "elk_sim_distribute_contention_seconds_total" ~by:!stall_dist
+     ~help:"Interconnect stall during data distribution";
+   M.incr "elk_sim_exchange_contention_seconds_total" ~by:!stall_ex
+     ~help:"Interconnect stall during exchange/reduction";
+   M.incr "elk_sim_hbm_busy_seconds_total" ~by:!hbm_busy
+     ~help:"Simulated HBM device occupancy across preload reads";
+   M.incr "elk_sim_hbm_stall_seconds_total" ~by:!preload_wait
+     ~help:"Execute time spent waiting on the operator's own preload";
+   M.observe "elk_sim_preload_queue_depth" (float_of_int !max_pending)
+     ~help:"Peak issued-but-unexecuted preload queue depth per run");
   (* Breakdown: union measures of preload and execute interval sets. *)
   let union intervals =
     let sorted = List.sort compare (List.filter (fun (a, b) -> b > a) intervals) in
@@ -360,6 +389,9 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
   in
   let flops = Elk_model.Graph.total_flops graph in
   let stats = Elk_hbm.Hbm.stats hbm_dev in
+  Elk_obs.Metrics.incr "elk_sim_hbm_requests_total"
+    ~by:(float_of_int stats.Elk_hbm.Hbm.requests)
+    ~help:"HBM device requests issued";
   {
     total;
     bd =
@@ -405,6 +437,11 @@ let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
           });
     hbm_requests = stats.Elk_hbm.Hbm.requests;
   }
+
+let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
+  Elk_obs.Span.with_span "sim-run"
+    ~attrs:[ ("ops", string_of_int (Elk.Schedule.num_ops s)) ]
+    (fun () -> run_impl ~skew ctx s)
 
 let compare_with_timeline ctx s =
   let sim = run ctx s in

@@ -1,31 +1,9 @@
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON escaping is shared with the Elk_obs exporters (Elk_obs.Jsonx): the
+   old local escaper missed control characters, so an operator name with a
+   tab or carriage return produced invalid JSON. *)
 
-let us t = t *. 1e6
-
-(* One complete event ("ph":"X"): name, track (tid), start, duration. *)
 let event ~name ~tid ~start ~dur ~args =
-  let args_s =
-    match args with
-    | [] -> "{}"
-    | kvs ->
-        "{"
-        ^ String.concat ","
-            (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) kvs)
-        ^ "}"
-  in
-  Printf.sprintf
-    "{\"name\":\"%s\",\"cat\":\"elk\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
-    (json_escape name) tid (us start) (us dur) args_s
+  Elk_obs.Chrome.complete_event ~tid ~name ~cat:"elk" ~start ~dur ~args ()
 
 let phases (o : Sim.op_trace) =
   [
@@ -35,7 +13,7 @@ let phases (o : Sim.op_trace) =
   ]
   |> List.filter (fun (_, _, d) -> d > 0.)
 
-let events graph (r : Sim.result) =
+let chrome_events graph (r : Sim.result) =
   let name i =
     (Elk_model.Graph.get graph i).Elk_model.Graph.op.Elk_tensor.Opspec.name
   in
@@ -61,21 +39,17 @@ let events graph (r : Sim.result) =
     r.Sim.per_op;
   List.rev !acc
 
+let chrome_meta =
+  [
+    Elk_obs.Chrome.thread_name ~pid:1 ~tid:1 "HBM preload";
+    Elk_obs.Chrome.thread_name ~pid:1 ~tid:2 "on-chip execute";
+  ]
+
 let to_chrome_json graph r =
-  let meta =
-    [
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"HBM preload\"}}";
-      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"on-chip execute\"}}";
-    ]
-  in
-  "{\"traceEvents\":[\n"
-  ^ String.concat ",\n" (meta @ events graph r)
-  ^ "\n]}\n"
+  Elk_obs.Chrome.wrap (chrome_meta @ chrome_events graph r)
 
 let write_chrome_json ~path graph r =
-  let oc = open_out path in
-  output_string oc (to_chrome_json graph r);
-  close_out oc
+  Elk_obs.Chrome.write ~path (chrome_meta @ chrome_events graph r)
 
 let event_count (r : Sim.result) =
   Array.fold_left

@@ -8,6 +8,15 @@
     overlapped preload and execution — the visual equivalent of the
     paper's Fig 18(a) breakdown. *)
 
+val chrome_events : Elk_model.Graph.t -> Sim.result -> string list
+(** The rendered trace-event objects alone (no enclosing document) — for
+    merging with other producers, e.g. {!Elk_obs.Span.chrome_events}, into
+    one timeline via {!Elk_obs.Chrome.write}. *)
+
+val chrome_meta : string list
+(** thread_name metadata events labelling tracks 1 (HBM preload) and 2
+    (on-chip execute). *)
+
 val to_chrome_json : Elk_model.Graph.t -> Sim.result -> string
 (** Serialize; timestamps in microseconds as the format requires. *)
 

@@ -1,0 +1,23 @@
+The profile subcommand aggregates compiler spans into a per-phase table.
+Wall-clock durations vary run to run, so keep only the first column
+(phase / counter names) and squeeze the separator rule.
+
+  $ ../../bin/elk_cli.exe profile -m dit-xl --scale 8 -b 2 | awk '{print $1}' | tr -s '-'
+  ==
+  phase
+  -
+  compile
+  shard
+  order-gen
+  schedule
+  allocate
+  timeline-eval
+  
+  ==
+  counter
+  -
+  elk_compile_orders_tried_total
+  elk_scheduler_runs_total
+  
+
+

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "elk"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("tensor", Test_tensor.suite);
       ("model", Test_model.suite);
       ("arch", Test_arch.suite);
