@@ -845,6 +845,56 @@ let full () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Resource-attribution snapshot (BENCH_attrib.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit the bottleneck report for the headline configuration and write a
+   compact JSON snapshot next to the repo's committed copy, so CI can
+   diff it and flag silent simulator-timing drift across PRs.  Values
+   are rounded to 4 significant digits: enough to catch real timing
+   changes, coarse enough to survive benign float-noise differences. *)
+let attrib () =
+  let env = Lazy.force default_env in
+  let g = decode llama13b ~batch:32 in
+  match B.plan ~elk_options:bench_elk_options env.D.ctx ~pod:env.D.pod g B.Elk_full with
+  | None -> ()
+  | Some s ->
+      let r = Elk_sim.Sim.run env.D.ctx s in
+      (match Elk_sim.Perfcore.check r.Elk_sim.Sim.perf ~total:r.Elk_sim.Sim.total with
+      | Ok () -> ()
+      | Error m -> Printf.printf "ATTRIBUTION LEAK: %s\n" m);
+      let rep = Elk_analyze.Analyze.analyze ~top:4 s.Elk.Schedule.graph r in
+      Elk_analyze.Analyze.print ~top_ops:5 rep;
+      let module A = Elk_analyze.Analyze in
+      let num v = Printf.sprintf "%.4g" v in
+      let res_obj f =
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun res -> Printf.sprintf "\"%s\":%s" (A.resource_name res) (f res))
+               A.all_resources)
+        ^ "}"
+      in
+      let json =
+        Printf.sprintf
+          "{\"model\":%S,\"design\":%S,\"total_us\":%s,\"imbalance\":%s,\n\
+           \"resource_us\":%s,\n\"headroom_us\":%s,\n\"mix\":%s,\n\
+           \"hbm_mean_gbps\":%s,\"noc_mean_gbps\":%s}\n"
+          (Graph.name g) (B.name B.Elk_full)
+          (num (rep.A.total *. 1e6))
+          (num rep.A.imbalance)
+          (res_obj (fun res -> num (List.assoc res rep.A.resource_totals *. 1e6)))
+          (res_obj (fun res -> num (List.assoc res rep.A.headroom *. 1e6)))
+          (res_obj (fun res -> string_of_int (List.assoc res rep.A.mix)))
+          (num (rep.A.hbm_mean /. 1e9))
+          (num (rep.A.noc_mean /. 1e9))
+      in
+      let oc = open_out "BENCH_attrib.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote BENCH_attrib.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -957,6 +1007,7 @@ let experiments =
     ("validate", validate);
     ("full", full);
     ("energy", energy);
+    ("attrib", attrib);
     ("micro", micro);
   ]
 

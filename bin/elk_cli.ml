@@ -118,8 +118,9 @@ let write_metrics = function
           close_out oc);
       Format.printf "wrote metrics to %s@." path
 
-(* Merge simulator events (tracks 1-2) with compiler spans (track 3). *)
-let write_trace ?sim trace_out =
+(* Merge simulator events (tracks 1-2) with compiler spans (track 3) and
+   any extra producer output (e.g. analyzer counter tracks). *)
+let write_trace ?sim ?(extra = []) trace_out =
   match trace_out with
   | None -> ()
   | Some path ->
@@ -129,7 +130,7 @@ let write_trace ?sim trace_out =
             Elk_sim.Trace.chrome_meta @ Elk_sim.Trace.chrome_events graph r
         | None -> []
       in
-      let events = sim_events @ Elk_obs.Span.chrome_events () in
+      let events = sim_events @ extra @ Elk_obs.Span.chrome_events () in
       failing_write ~what:"trace" (fun () -> Elk_obs.Chrome.write ~path events);
       Format.printf "wrote trace (%d events) to %s@." (List.length events) path
 
@@ -275,9 +276,58 @@ let report_cmd =
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
       $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
 
+let analyze_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design top
+      json_out metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    match B.plan env.D.ctx ~pod:env.D.pod g design with
+    | None ->
+        Format.eprintf "elk_cli: the Ideal roofline has no schedule to analyze@.";
+        exit 1
+    | Some s ->
+        let r = Elk_sim.Sim.run env.D.ctx s in
+        (match Elk_sim.Perfcore.check r.Elk_sim.Sim.perf ~total:r.Elk_sim.Sim.total with
+        | Ok () -> ()
+        | Error m -> Format.eprintf "elk_cli: attribution leak: %s@." m);
+        let rep = Elk_analyze.Analyze.analyze ~top s.Elk.Schedule.graph r in
+        Elk_analyze.Analyze.print rep;
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            failing_write ~what:"analysis" (fun () ->
+                let oc = open_out path in
+                output_string oc (Elk_analyze.Analyze.to_json rep);
+                close_out oc);
+            Format.printf "wrote analysis to %s@." path);
+        write_trace
+          ~sim:(s.Elk.Schedule.graph, r)
+          ~extra:(Elk_analyze.Analyze.chrome_counter_events ~top r)
+          trace_out;
+        write_metrics metrics_out
+  in
+  let top_t =
+    Arg.(value & opt int 8 & info [ "top" ] ~doc:"Cores/tracks to show in detail.")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~doc:"Write the full bottleneck report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Simulate a design and print a bottleneck report: per-core \
+          attribution, dominant resource per operator, load imbalance, and \
+          what-if headroom.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ json_out_t $ metrics_out_t
+      $ trace_out_t)
+
 let profile_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
-      trace_out =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology per_core
+      metrics_out trace_out =
     Elk_obs.Control.enable ();
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
@@ -315,8 +365,21 @@ let profile_cmd =
       (fun (name, v) -> Elk_util.Table.add_row ct [ name; Printf.sprintf "%.0f" v ])
       (Elk_obs.Metrics.counters ());
     Elk_util.Table.print ct;
+    if per_core then begin
+      let r = Elk_sim.Sim.run env.D.ctx c.Elk.Compile.schedule in
+      Elk_analyze.Analyze.print
+        (Elk_analyze.Analyze.analyze c.Elk.Compile.chip_graph r)
+    end;
     write_trace trace_out;
     write_metrics metrics_out
+  in
+  let per_core_t =
+    Arg.(
+      value & flag
+      & info [ "per-core" ]
+          ~doc:
+            "Also simulate the compiled plan and print the per-core resource \
+             attribution (as $(b,analyze) does for a single design).")
   in
   Cmd.v
     (Cmd.info "profile"
@@ -325,11 +388,14 @@ let profile_cmd =
           compile-time table.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ per_core_t $ metrics_out_t $ trace_out_t)
 
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "elk_cli" ~doc)
-          [ info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; profile_cmd ]))
+          [
+            info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
+            profile_cmd;
+          ]))

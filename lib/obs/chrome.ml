@@ -14,6 +14,11 @@ let complete_event ?(pid = 1) ~tid ~name ?(cat = "elk") ~start ~dur ~args () =
     "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
     (Jsonx.quote name) (Jsonx.quote cat) pid tid (us start) (us dur) args_s
 
+let counter_event ?(pid = 1) ~name ~ts ~value () =
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":\"elk\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.3f,\"args\":{\"value\":%s}}"
+    (Jsonx.quote name) pid (us ts) (Jsonx.number value)
+
 let thread_name ~pid ~tid name =
   Printf.sprintf
     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"

@@ -20,6 +20,11 @@ val complete_event :
     [args] values are raw JSON fragments (already quoted/rendered); keys
     are escaped here. *)
 
+val counter_event : ?pid:int -> name:string -> ts:float -> value:float -> unit -> string
+(** One counter ("ph":"C") sample: Perfetto renders successive samples
+    under the same [name] as a stepped counter track.  [ts] is in
+    seconds; non-finite values render as [null]. *)
+
 val thread_name : pid:int -> tid:int -> string -> string
 (** A thread_name metadata event labelling a track. *)
 

@@ -93,15 +93,20 @@ let counter_value name =
 let gauge_value name =
   match find name with Some { v = Gauge r; _ } -> Some !r | _ -> None
 
+(* An empty histogram is reachable once reset_histogram exists (reuse
+   across Serve runs): summary queries must degrade to zeros, never to
+   the infinite sentinels or an exception. *)
 let histogram_stats name =
   match find name with
-  | Some { v = Histogram h; _ } when h.h_count > 0 ->
-      Some (h.h_count, h.h_sum, h.h_min, h.h_max)
+  | Some { v = Histogram h; _ } ->
+      if h.h_count = 0 then Some (0, 0., 0., 0.)
+      else Some (h.h_count, h.h_sum, h.h_min, h.h_max)
   | _ -> None
 
 let percentile name p =
   match find name with
-  | Some { v = Histogram h; _ } when h.h_count > 0 ->
+  | Some { v = Histogram h; _ } when h.h_count = 0 -> Some 0.
+  | Some { v = Histogram h; _ } ->
       let p = Float.max 0. (Float.min 100. p) in
       let target = p /. 100. *. float_of_int h.h_count in
       let n = Array.length h.bounds in
@@ -231,6 +236,17 @@ let to_json () =
       "\"histograms\":" ^ obj hist_json;
     ]
   ^ "\n"
+
+let reset_histogram name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some { v = Histogram h; _ } ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- Float.infinity;
+          h.h_max <- Float.neg_infinity
+      | _ -> ())
 
 let reset () =
   with_lock (fun () ->

@@ -35,10 +35,12 @@ val percentile : string -> float -> float option
 (** [percentile name p] estimates the [p]-th percentile (0..100) of a
     histogram by geometric interpolation within the covering bucket,
     clamped to the observed min/max.  [None] if the histogram does not
-    exist or is empty. *)
+    exist; [Some 0.] if it exists but holds no samples (e.g. right after
+    {!reset_histogram}). *)
 
 val histogram_stats : string -> (int * float * float * float) option
-(** [(count, sum, min, max)] of a histogram. *)
+(** [(count, sum, min, max)] of a histogram.  An existing but empty
+    histogram reports [(0, 0., 0., 0.)] — never the infinite sentinels. *)
 
 val counters : unit -> (string * float) list
 (** All counters in registration order — deterministic for a
@@ -54,6 +56,12 @@ val to_prometheus : unit -> string
 val to_json : unit -> string
 (** One JSON object with ["counters"], ["gauges"], and ["histograms"]
     (count/sum/min/max/p50/p90/p99 per histogram). *)
+
+val reset_histogram : string -> unit
+(** Zero a histogram's buckets and summary fields in place, keeping the
+    metric registered — reuse across runs (e.g. one serving run's
+    step-latency percentiles must not include the previous run's
+    samples).  A no-op on unknown names and non-histogram metrics. *)
 
 val reset : unit -> unit
 (** Drop every registered metric. *)

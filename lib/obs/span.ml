@@ -52,12 +52,15 @@ let totals () =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun s ->
+      (* Tie-break equal start timestamps (clock granularity) by depth:
+         at the same tick the enclosing span is the one that started
+         first, so "ordered by first start" stays deterministic. *)
       match Hashtbl.find_opt tbl s.name with
-      | None -> Hashtbl.add tbl s.name (s.start, 1, s.dur)
-      | Some (fs, c, tot) ->
-          Hashtbl.replace tbl s.name (Float.min fs s.start, c + 1, tot +. s.dur))
+      | None -> Hashtbl.add tbl s.name ((s.start, s.depth), 1, s.dur)
+      | Some (k, c, tot) ->
+          Hashtbl.replace tbl s.name (min k (s.start, s.depth), c + 1, tot +. s.dur))
     (spans ());
-  Hashtbl.fold (fun name (fs, c, tot) acc -> (fs, name, c, tot) :: acc) tbl []
+  Hashtbl.fold (fun name (k, c, tot) acc -> (k, name, c, tot) :: acc) tbl []
   |> List.sort compare
   |> List.map (fun (_, name, c, tot) -> (name, c, tot))
 

@@ -19,6 +19,8 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
   if tokens <= 0 || batch <= 0 || prompt_ctx <= 0 then
     invalid_arg "Serve.serve: nonpositive workload parameter";
   if design = B.Ideal then invalid_arg "Serve.serve: Ideal has no executable plan";
+  (* Percentile queries after the run must describe this run alone. *)
+  Elk_obs.Metrics.reset_histogram "elk_serve_step_latency_seconds";
   let chips = env.D.pod.Elk_arch.Arch.chips in
   (* Cache of (plan context length -> (latency, compile seconds)). *)
   let plans = Hashtbl.create 8 in

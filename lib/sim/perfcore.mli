@@ -1,0 +1,80 @@
+(** Per-core and per-operator resource attribution collected during a
+    simulation run (the diagnostic substrate behind Fig 18(a)'s four-way
+    breakdown, the per-link utilization of Fig 18(c)/21, and the HBM
+    bandwidth traces of Figs 6-8).
+
+    The simulator event loop feeds one {!t} per run as it books transfers
+    and compute: every core's share of the makespan is decomposed into
+    five buckets (compute, inter-core exchange, preload stall, port
+    contention, idle), every operator's critical-path span is attributed
+    to the resource that bound it, and HBM / interconnect traffic is
+    recorded as time series so bandwidth {e over time} replaces the
+    chip-wide scalar means (which remain derivable from the series).
+
+    The per-core buckets tile the makespan exactly: for every core the
+    bucket sum equals the simulated total.  {!check} verifies this, and
+    the test suite runs it on every topology so that attribution leaks
+    surface whenever the event loop changes. *)
+
+type buckets = {
+  mutable compute : float;  (** running the operator's tile. *)
+  mutable exchange : float;
+      (** moving data core-to-core (distribution + exchange phases),
+          excluding queuing. *)
+  mutable preload_wait : float;
+      (** execution gated on the operator's own preload (§4.5 rule 3). *)
+  mutable port : float;  (** queued behind a busy link or SRAM port. *)
+  mutable idle : float;
+      (** unused by the operator's plan, or waiting on a slower peer. *)
+}
+
+type op_attrib = {
+  mutable a_hbm : float;
+      (** preload-stall share caused by the HBM device roofline. *)
+  mutable a_interconnect : float;
+      (** preload delivery beyond the HBM floor, plus distribution and
+          exchange communication on the critical path. *)
+  mutable a_compute : float;  (** tile-compute span (slowest core). *)
+  mutable a_port : float;  (** critical-path queuing delay. *)
+}
+
+type t = {
+  cores : int;
+  per_core : buckets array;  (** indexed by core id. *)
+  per_op : op_attrib array;  (** indexed by operator id. *)
+  hbm_series : Elk_util.Series.t;
+      (** HBM device bytes over the read intervals — bandwidth over time. *)
+  noc_series : Elk_util.Series.t;
+      (** interconnect bytes (preload injection + distribution +
+          exchange) over their transfer intervals. *)
+  core_busy : Elk_util.Series.t array;
+      (** per-core busy (compute + communication) time over time; feeds
+          the per-core Perfetto counter tracks. *)
+}
+
+val create : cores:int -> ops:int -> t
+(** Fresh zeroed accumulators for a run over [ops] operators. *)
+
+val zero_buckets : unit -> buckets
+val zero_attrib : unit -> op_attrib
+
+val bucket_sum : buckets -> float
+(** Sum of all five buckets — the core's span of the makespan. *)
+
+val busy : buckets -> float
+(** Time the core did useful or unavoidable work: compute + exchange +
+    port (queuing holds the port busy; only [idle] and [preload_wait]
+    are slack). *)
+
+val attrib_sum : op_attrib -> float
+(** The operator's critical-path span (preload stall + all three
+    execution phases). *)
+
+val imbalance : t -> float
+(** Load imbalance: max over cores of {!busy} divided by the mean
+    (1.0 = perfectly balanced; 0 when nothing ran). *)
+
+val check : t -> total:float -> (unit, string) result
+(** Verify that every core's {!bucket_sum} equals [total] within 1e-6
+    relative tolerance and that the per-operator attributions sum to
+    [total] as well.  [Error] names the first offending core. *)

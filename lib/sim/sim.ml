@@ -27,6 +27,7 @@ type result = {
   achieved_flops : float;
   per_op : op_trace array;
   hbm_requests : int;
+  perf : Perfcore.t;
 }
 
 (* Per-link reservation state, split into two traffic classes sharing each
@@ -171,6 +172,10 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
   let pre_start = Array.make n 0. and pre_end = Array.make n 0. in
   let exe_start = Array.make n 0. and exe_end = Array.make n 0. in
   let dist_end_arr = Array.make n 0. and compute_end_arr = Array.make n 0. in
+  let perf = Perfcore.create ~cores:chip.Arch.cores ~ops:n in
+  (* HBM device time of each operator's preload, for splitting the
+     execute's preload stall between the HBM floor and delivery. *)
+  let pre_hbm = Array.make n 0. in
   let exec_ready = ref 0. in
   let preload_free = ref 0. in
   let stall_interconnect = ref 0. in
@@ -204,6 +209,10 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
                 ~bytes:popt.P.hbm_device_bytes
             in
             hbm_busy := !hbm_busy +. (hbm_done -. gate);
+            pre_hbm.(op) <- hbm_done -. gate;
+            if hbm_done > gate then
+              Elk_util.Series.add perf.Perfcore.hbm_series ~t_start:gate
+                ~t_end:hbm_done ~volume:popt.P.hbm_device_bytes;
             (* Controllers stream to every core in parallel; each core
                receives its preload-space bytes through its own port.  On
                the all-to-all fabric the delivery is a fluid broadcast:
@@ -264,12 +273,16 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
             stall_interconnect := !stall_interconnect +. d;
             pre_start.(op) <- gate;
             pre_end.(op) <- !finish;
+            if popt.P.noc_inject_bytes > 0. && !finish > gate then
+              Elk_util.Series.add perf.Perfcore.noc_series ~t_start:gate
+                ~t_end:!finish ~volume:popt.P.noc_inject_bytes;
             preload_free := !finish
           end
       | Elk.Program.Execute op ->
           let e = s.Elk.Schedule.entries.(op) in
           let plan = e.Elk.Schedule.plan in
           let node = Elk_model.Graph.get graph op in
+          let prev_ready = !exec_ready in
           let start = Float.max !exec_ready pre_end.(op) in
           if !pending > 0 then decr pending;
           preload_wait := !preload_wait +. Float.max 0. (pre_end.(op) -. !exec_ready);
@@ -278,6 +291,8 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
              ring transfers from sharing-group peers. *)
           let dist_per_core = e.Elk.Schedule.popt.P.dist_bytes_per_core in
           let dist_end = ref start in
+          let dist_done = Array.make (max 1 ncores) start in
+          let dist_wait = Array.make (max 1 ncores) 0. in
           let dist_ideal =
             if dist_per_core > 0. then
               N.transfer_time noc ~src:(N.Core 0) ~dst:(N.Core (min 1 (chip.Arch.cores - 1)))
@@ -288,10 +303,12 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
           if dist_per_core > 0. then
             for c = 0 to ncores - 1 do
               let src = N.Core ((c + 1) mod ncores) in
-              let done_c, _ =
+              let done_c, wait_c =
                 transfer fg_fabric ~src ~dst:(N.Core c) ~bytes:dist_per_core
                   ~not_before:start
               in
+              dist_done.(c) <- done_c;
+              dist_wait.(c) <- wait_c;
               dist_end := Float.max !dist_end done_c
             done;
           let sd = Float.max 0. (!dist_end -. start -. dist_ideal) in
@@ -311,6 +328,8 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
              results. *)
           let ex_per_core = plan.P.exchange_bytes_per_core in
           let ex_end = ref !compute_end in
+          let ex_done = Array.make (max 1 ncores) !compute_end in
+          let ex_wait = Array.make (max 1 ncores) 0. in
           let ex_ideal =
             if ex_per_core > 0. then
               N.transfer_time noc ~src:(N.Core 0) ~dst:(N.Core (min 1 (chip.Arch.cores - 1)))
@@ -321,15 +340,77 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
           if ex_per_core > 0. then
             for c = 0 to ncores - 1 do
               let src = N.Core ((c + ncores - 1) mod ncores) in
-              let done_c, _ =
+              let done_c, wait_c =
                 transfer fg_fabric ~src ~dst:(N.Core c) ~bytes:ex_per_core
                   ~not_before:!compute_end
               in
+              ex_done.(c) <- done_c;
+              ex_wait.(c) <- wait_c;
               ex_end := Float.max !ex_end done_c
             done;
           let se = Float.max 0. (!ex_end -. !compute_end -. ex_ideal) in
           stall_ex := !stall_ex +. se;
           stall_interconnect := !stall_interconnect +. se;
+          (* Resource attribution: decompose every core's share of
+             [prev_ready, ex_end] into the five Perfcore buckets, and the
+             operator's critical-path span into per-resource time.  The
+             pieces are accumulated independently (not as remainders of
+             the makespan), so Perfcore.check genuinely verifies that no
+             time leaks when this loop changes. *)
+          let gap = start -. prev_ready in
+          let pre_len = pre_end.(op) -. pre_start.(op) in
+          let hbm_frac = if pre_len > 0. then pre_hbm.(op) /. pre_len else 0. in
+          let dist_len = !dist_end -. start in
+          let compute_len = !compute_end -. !dist_end in
+          let ex_len = !ex_end -. !compute_end in
+          let max_wait w = Array.fold_left Float.max 0. w in
+          let port_d = Float.min dist_len (if dist_per_core > 0. then max_wait dist_wait else 0.) in
+          let port_e = Float.min ex_len (if ex_per_core > 0. then max_wait ex_wait else 0.) in
+          let at = perf.Perfcore.per_op.(op) in
+          at.Perfcore.a_hbm <- gap *. hbm_frac;
+          at.Perfcore.a_interconnect <-
+            (gap *. (1. -. hbm_frac)) +. (dist_len -. port_d) +. (ex_len -. port_e);
+          at.Perfcore.a_compute <- compute_len;
+          at.Perfcore.a_port <- port_d +. port_e;
+          if dist_per_core > 0. && !dist_end > start then
+            Elk_util.Series.add perf.Perfcore.noc_series ~t_start:start
+              ~t_end:!dist_end
+              ~volume:(dist_per_core *. float_of_int ncores);
+          if ex_per_core > 0. && !ex_end > !compute_end then
+            Elk_util.Series.add perf.Perfcore.noc_series ~t_start:!compute_end
+              ~t_end:!ex_end
+              ~volume:(ex_per_core *. float_of_int ncores);
+          for c = 0 to chip.Arch.cores - 1 do
+            let b = perf.Perfcore.per_core.(c) in
+            b.Perfcore.preload_wait <- b.Perfcore.preload_wait +. gap;
+            if c < ncores then begin
+              if dist_per_core > 0. then begin
+                let comm = Float.max 0. (dist_done.(c) -. start -. dist_wait.(c)) in
+                b.Perfcore.exchange <- b.Perfcore.exchange +. comm;
+                b.Perfcore.port <- b.Perfcore.port +. dist_wait.(c);
+                b.Perfcore.idle <- b.Perfcore.idle +. (!dist_end -. dist_done.(c));
+                if comm > 0. then
+                  Elk_util.Series.add perf.Perfcore.core_busy.(c)
+                    ~t_start:(dist_done.(c) -. comm) ~t_end:dist_done.(c) ~volume:comm
+              end;
+              let t_c = t_tile *. core_skew ~skew c op in
+              b.Perfcore.compute <- b.Perfcore.compute +. t_c;
+              b.Perfcore.idle <- b.Perfcore.idle +. (compute_len -. t_c);
+              if t_c > 0. then
+                Elk_util.Series.add perf.Perfcore.core_busy.(c) ~t_start:!dist_end
+                  ~t_end:(!dist_end +. t_c) ~volume:t_c;
+              if ex_per_core > 0. then begin
+                let comm = Float.max 0. (ex_done.(c) -. !compute_end -. ex_wait.(c)) in
+                b.Perfcore.exchange <- b.Perfcore.exchange +. comm;
+                b.Perfcore.port <- b.Perfcore.port +. ex_wait.(c);
+                b.Perfcore.idle <- b.Perfcore.idle +. (!ex_end -. ex_done.(c));
+                if comm > 0. then
+                  Elk_util.Series.add perf.Perfcore.core_busy.(c)
+                    ~t_start:(ex_done.(c) -. comm) ~t_end:ex_done.(c) ~volume:comm
+              end
+            end
+            else b.Perfcore.idle <- b.Perfcore.idle +. (!ex_end -. start)
+          done;
           exe_start.(op) <- start;
           dist_end_arr.(op) <- !dist_end;
           compute_end_arr.(op) <- !compute_end;
@@ -436,6 +517,7 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
               *. float_of_int e.Elk.Schedule.plan.P.cores_used;
           });
     hbm_requests = stats.Elk_hbm.Hbm.requests;
+    perf;
   }
 
 let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =

@@ -49,6 +49,11 @@ type result = {
   achieved_flops : float;
   per_op : op_trace array;
   hbm_requests : int;  (** HBM device requests issued. *)
+  perf : Perfcore.t;
+      (** per-core bucket attribution, per-operator per-resource
+          attribution, and HBM/NoC bandwidth-over-time series collected
+          by the event loop.  [hbm_util]/[noc_util] are the time-averaged
+          scalars derivable from the series. *)
 }
 
 val run : ?skew:float -> Elk_partition.Partition.ctx -> Elk.Schedule.t -> result

@@ -1,0 +1,60 @@
+The analyze subcommand prints the bottleneck report for a compiled plan.
+All times are simulated, so the tables are fully deterministic.
+
+  $ ../../bin/elk_cli.exe analyze -m dit-xl --scale 8 -b 2 --top 4
+  == bottleneck summary: makespan 106.5 us, load imbalance 1.04x (max/mean busy) ==
+  resource      critical-path us  share  if infinite (us)  saved  
+  ----------------------------------------------------------------
+  hbm           0.3               0.3%   106.2             0.3%   
+  interconnect  29.1              27.3%  77.5              27.3%  
+  compute       77.1              72.4%  29.4              72.4%  
+  port          0.0               0.0%   106.5             0.0%   
+  
+  == bandwidth over time (binned) ==
+  series        mean GB/s  peak GB/s  
+  ------------------------------------
+  HBM           9.94       82.86      
+  interconnect  72.24      302.78     
+  
+  == top 4 cores by busy time (us) ==
+  core  busy   compute  exchange  port  preload wait  idle  sum    
+  -----------------------------------------------------------------
+  6     102.1  75.8     26.3      0.0   3.1           1.3   106.5  
+  0     102.1  75.8     26.3      0.0   3.1           1.3   106.5  
+  7     102.1  75.8     26.3      0.0   3.1           1.3   106.5  
+  9     102.0  75.7     26.3      0.0   3.1           1.4   106.5  
+  
+  == operator mix by dominant resource ==
+  dominant      ops  critical-path us  share  
+  --------------------------------------------
+  hbm           0    0.3               0.3%   
+  interconnect  1    29.1              27.3%  
+  compute       28   77.1              72.4%  
+  port          0    0.0               0.0%   
+  
+  == top 10 operators by critical-path span ==
+  op  name           dominant  span us  hbm   interconnect  compute  port  
+  -------------------------------------------------------------------------
+  10  l0.ffn_up      compute   7.3      0.0%  42.7%         57.3%    0.0%  
+  23  l1.ffn_up      compute   7.3      0.0%  42.7%         57.3%    0.0%  
+  12  l0.ffn_down    compute   6.3      0.0%  33.6%         66.4%    0.0%  
+  25  l1.ffn_down    compute   6.3      0.0%  33.6%         66.4%    0.0%  
+  16  l1.qkv         compute   6.2      0.0%  43.2%         56.8%    0.0%  
+  3   l0.qkv         compute   6.2      0.0%  43.2%         56.8%    0.0%  
+  4   l0.attn_score  compute   4.3      0.0%  41.7%         58.3%    0.0%  
+  17  l1.attn_score  compute   4.3      0.0%  41.7%         58.3%    0.0%  
+  6   l0.attn_out    compute   4.1      0.0%  44.0%         56.0%    0.0%  
+  19  l1.attn_out    compute   4.1      0.0%  44.0%         56.0%    0.0%  
+  
+
+The JSON export lands where asked and starts with the makespan.
+
+  $ ../../bin/elk_cli.exe analyze -m dit-xl --scale 8 -b 2 --json-out rep.json >/dev/null
+  $ cut -c1-9 rep.json
+  {"total":
+
+The Ideal roofline has no schedule, so there is nothing to analyze.
+
+  $ ../../bin/elk_cli.exe analyze -m dit-xl --scale 8 -b 2 -d ideal
+  elk_cli: the Ideal roofline has no schedule to analyze
+  [1]

@@ -1,0 +1,89 @@
+(* Elk_analyze: dominant-resource classification and report invariants. *)
+
+module A = Elk_analyze.Analyze
+module Pc = Elk_sim.Perfcore
+module Sim = Elk_sim.Sim
+
+let resource = Alcotest.testable (Fmt.of_to_string A.resource_name) ( = )
+
+let attrib ?(hbm = 0.) ?(ic = 0.) ?(compute = 0.) ?(port = 0.) () =
+  { Pc.a_hbm = hbm; a_interconnect = ic; a_compute = compute; a_port = port }
+
+let test_classify_synthetic () =
+  (* Hand-built attributions with one clearly dominant bucket. *)
+  Alcotest.check resource "clearly HBM-bound" A.Hbm
+    (A.classify (attrib ~hbm:8e-3 ~ic:1e-4 ~compute:2e-4 ()));
+  Alcotest.check resource "clearly interconnect-bound" A.Interconnect
+    (A.classify (attrib ~ic:5e-3 ~hbm:1e-4 ~compute:1e-3 ~port:2e-4 ()));
+  Alcotest.check resource "compute-bound" A.Compute
+    (A.classify (attrib ~compute:9e-3 ~ic:1e-3 ()));
+  Alcotest.check resource "port-bound" A.Port
+    (A.classify (attrib ~port:3e-3 ~compute:1e-3 ()))
+
+let test_classify_edge_cases () =
+  (* No attributed time at all, and exact ties, both read as compute. *)
+  Alcotest.check resource "all-zero defaults to compute" A.Compute
+    (A.classify (attrib ()));
+  Alcotest.check resource "tie with compute goes to compute" A.Compute
+    (A.classify (attrib ~hbm:1e-3 ~compute:1e-3 ()))
+
+let result =
+  lazy (Sim.run (Lazy.force Tu.default_ctx) (Lazy.force Tu.tiny_schedule))
+
+let report =
+  lazy
+    (let s = Lazy.force Tu.tiny_schedule in
+     A.analyze ~top:4 s.Elk.Schedule.graph (Lazy.force result))
+
+let test_report_invariants () =
+  let r = Lazy.force result and rep = Lazy.force report in
+  Tu.check_rel "resource totals sum to makespan" ~tolerance:1e-6 r.Sim.total
+    (List.fold_left (fun acc (_, t) -> acc +. t) 0. rep.A.resource_totals);
+  List.iter
+    (fun (res, h) ->
+      Alcotest.(check bool)
+        (A.resource_name res ^ " headroom bounded")
+        true
+        (h >= 0. && h <= r.Sim.total +. 1e-12))
+    rep.A.headroom;
+  Alcotest.(check int) "mix covers every operator"
+    (Array.length rep.A.ops)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 rep.A.mix);
+  Alcotest.(check int) "top-k cores bounded" 4 (List.length rep.A.top_cores);
+  Alcotest.(check bool) "imbalance >= 1" true (rep.A.imbalance >= 1.);
+  (* top cores come out busiest-first *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> Pc.busy a.A.buckets >= Pc.busy b.A.buckets && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "cores sorted by busy" true (sorted rep.A.top_cores)
+
+let test_exports () =
+  let rep = Lazy.force report in
+  let json = A.to_json rep in
+  let contains n h =
+    let nl = String.length n and hl = String.length h in
+    let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key -> Alcotest.(check bool) ("json has " ^ key) true (contains key json))
+    [
+      "\"total\""; "\"imbalance\""; "\"resource_seconds\""; "\"headroom_latency\"";
+      "\"mix\""; "\"top_cores\""; "\"ops\""; "\"bandwidth\"";
+    ];
+  Alcotest.(check int) "five tables" 5 (List.length (A.tables rep));
+  let counters = A.chrome_counter_events ~bins:16 ~top:2 (Lazy.force result) in
+  Alcotest.(check bool) "counter events present" true (counters <> []);
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "is a C event" true (contains "\"ph\":\"C\"" ev))
+    counters
+
+let suite =
+  [
+    ("classify: synthetic dominant buckets", `Quick, test_classify_synthetic);
+    ("classify: ties and zeros", `Quick, test_classify_edge_cases);
+    ("report invariants on a real run", `Quick, test_report_invariants);
+    ("json/table/counter exports", `Quick, test_exports);
+  ]

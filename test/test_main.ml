@@ -15,6 +15,7 @@ let () =
       ("core", Test_core.suite);
       ("opsplit", Test_opsplit.suite);
       ("sim", Test_sim.suite);
+      ("analyze", Test_analyze.suite);
       ("baselines", Test_baselines.suite);
       ("gtext", Test_gtext.suite);
       ("extensions", Test_extensions.suite);

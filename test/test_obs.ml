@@ -50,6 +50,46 @@ let test_histogram_percentiles () =
   Alcotest.(check (float 1e-9)) "p0 clamps to min" 0.001 (p 0.);
   Alcotest.(check (float 1e-9)) "p100 clamps to max" 1.0 (p 100.)
 
+let test_empty_histogram_guards () =
+  (* An existing but empty histogram answers 0 — never nan, never an
+     exception — while absent names keep answering None. *)
+  Obs.Metrics.observe "e" 0.25;
+  Obs.Metrics.reset_histogram "e";
+  Alcotest.(check (option (float 0.))) "p50 of empty" (Some 0.)
+    (Obs.Metrics.percentile "e" 50.);
+  Alcotest.(check (option (float 0.))) "p99.9 of empty" (Some 0.)
+    (Obs.Metrics.percentile "e" 99.9);
+  (match Obs.Metrics.histogram_stats "e" with
+  | Some (count, sum, mn, mx) ->
+      Alcotest.(check int) "count" 0 count;
+      Alcotest.(check (float 0.)) "sum" 0. sum;
+      Alcotest.(check (float 0.)) "min" 0. mn;
+      Alcotest.(check (float 0.)) "max" 0. mx
+  | None -> Alcotest.fail "stats must exist for an empty histogram");
+  Alcotest.(check (option (float 0.))) "absent stays None" None
+    (Obs.Metrics.percentile "nope" 50.)
+
+let test_histogram_reset_reuse () =
+  (* reset_histogram forgets the previous run completely, so percentile
+     queries after a second run describe that run alone. *)
+  Obs.Metrics.observe "r" 1.0;
+  Obs.Metrics.observe "r" 2.0;
+  Obs.Metrics.reset_histogram "r";
+  Obs.Metrics.observe "r" 4.0;
+  let count, sum, mn, mx = Option.get (Obs.Metrics.histogram_stats "r") in
+  Alcotest.(check int) "count sees only the new run" 1 count;
+  Alcotest.(check (float 1e-9)) "sum sees only the new run" 4.0 sum;
+  Alcotest.(check (float 1e-9)) "min is the new observation" 4.0 mn;
+  Alcotest.(check (float 1e-9)) "max is the new observation" 4.0 mx;
+  Alcotest.(check (float 1e-9)) "p100 clamps to the new max" 4.0
+    (Option.get (Obs.Metrics.percentile "r" 100.));
+  (* Resetting a name that is not a histogram leaves it untouched. *)
+  Obs.Metrics.incr "rc";
+  Obs.Metrics.reset_histogram "rc";
+  Alcotest.(check (option (float 0.))) "counter untouched" (Some 1.)
+    (Obs.Metrics.counter_value "rc");
+  Obs.Metrics.reset_histogram "never-registered"
+
 let test_span_nesting () =
   let v =
     Obs.Span.with_span "outer" (fun () ->
@@ -200,6 +240,8 @@ let suite =
     ("jsonx escaping", `Quick, with_obs test_escape);
     ("counters and gauges", `Quick, with_obs test_counters_and_gauges);
     ("histogram percentiles", `Quick, with_obs test_histogram_percentiles);
+    ("empty histogram guards", `Quick, with_obs test_empty_histogram_guards);
+    ("histogram reset for reuse", `Quick, with_obs test_histogram_reset_reuse);
     ("span nesting and ordering", `Quick, with_obs test_span_nesting);
     ("prometheus exporter", `Quick, with_obs test_prometheus_exporter);
     ("json exporter", `Quick, with_obs test_json_exporter);

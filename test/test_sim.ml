@@ -81,6 +81,33 @@ let test_agrees_with_timeline_roughly () =
   let diff = Sim.compare_with_timeline (ctx ()) (sched ()) in
   Alcotest.(check bool) "within 50%" true (diff < 0.5)
 
+(* Resource attribution must tile the makespan exactly: every core's five
+   buckets and every operator's four attribution shares are accumulated
+   independently in the event loop, so any leak in the decomposition shows
+   up as a sum that misses [total]. *)
+let check_perf_invariant name (r : Sim.result) =
+  (match Perfcore.check r.Sim.perf ~total:r.Sim.total with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" name m);
+  Array.iteri
+    (fun c b ->
+      Tu.check_rel
+        (Printf.sprintf "%s: core %d buckets sum to makespan" name c)
+        ~tolerance:1e-6 r.Sim.total (Perfcore.bucket_sum b))
+    r.Sim.perf.Perfcore.per_core;
+  let op_total =
+    Array.fold_left (fun acc a -> acc +. Perfcore.attrib_sum a) 0. r.Sim.perf.Perfcore.per_op
+  in
+  Tu.check_rel (name ^ ": op attributions sum to makespan") ~tolerance:1e-6
+    r.Sim.total op_total
+
+let test_attrib_tiles_makespan () = check_perf_invariant "a2a" (Lazy.force result)
+
+let test_attrib_tiles_makespan_mesh () =
+  let mctx = Lazy.force Tu.mesh_ctx in
+  let s = Elk.Scheduler.run mctx (Lazy.force Tu.tiny_llama_chip_graph) in
+  check_perf_invariant "mesh" (Sim.run mctx s)
+
 let test_mesh_runs () =
   let mctx = Lazy.force Tu.mesh_ctx in
   let g = Lazy.force Tu.tiny_llama_chip_graph in
@@ -111,6 +138,8 @@ let suite =
     ("sim: deterministic", `Quick, test_deterministic);
     ("sim: skew effect", `Quick, test_skew_increases_makespan);
     ("sim: timeline agreement", `Quick, test_agrees_with_timeline_roughly);
+    ("sim: attribution tiles makespan (a2a)", `Quick, test_attrib_tiles_makespan);
+    ("sim: attribution tiles makespan (mesh)", `Slow, test_attrib_tiles_makespan_mesh);
     ("sim: mesh runs", `Slow, test_mesh_runs);
     ("sim: mesh vs a2a", `Slow, test_mesh_not_faster_than_a2a);
   ]
