@@ -390,6 +390,111 @@ let profile_cmd =
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
       $ chips_t $ cores_t $ topo_t $ per_core_t $ metrics_out_t $ trace_out_t)
 
+let verify_cmd =
+  let module V = Elk_verify.Verify in
+  let module R = Elk_verify.Rules in
+  let print_rules () =
+    let t =
+      Elk_util.Table.create ~title:"verifier rules"
+        ~columns:[ "rule"; "severity"; "summary" ]
+    in
+    List.iter
+      (fun r ->
+        Elk_util.Table.add_row t
+          [
+            r.R.id;
+            Elk_verify.Diag.severity_name r.R.default_severity;
+            r.R.summary;
+          ])
+      R.all;
+    Elk_util.Table.print t
+  in
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design
+      plan_file strict rules json_out metrics_out =
+    obs_setup ~metrics_out ~trace_out:None;
+    if rules = Some "help" then print_rules ()
+    else begin
+      let sel =
+        match rules with
+        | None -> R.default_selection
+        | Some spec -> (
+            match R.selection_of_string spec with
+            | Ok sel -> sel
+            | Error msg ->
+                Format.eprintf "elk_cli: %s@." msg;
+                exit 2)
+      in
+      let env = make_env ~chips ~cores ~topology in
+      let sched =
+        match plan_file with
+        | Some path -> (
+            match Elk.Planio.load env.D.ctx ~path with
+            | Ok s -> s
+            | Error msg ->
+                Format.eprintf "elk_cli: cannot load plan %s: %s@." path msg;
+                exit 2)
+        | None -> (
+            let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+            (* Plan with the compile-time verifier uninstalled: a flagged
+               plan must be reported by this command, not thrown by the
+               compiler before we can show the diagnostics. *)
+            let saved = Elk.Compile.verifier () in
+            Elk.Compile.set_verifier None;
+            Fun.protect
+              ~finally:(fun () -> Elk.Compile.set_verifier saved)
+              (fun () ->
+                match B.plan env.D.ctx ~pod:env.D.pod g design with
+                | Some s -> s
+                | None ->
+                    Format.eprintf
+                      "elk_cli: the Ideal roofline has no schedule to verify@.";
+                    exit 2))
+      in
+      let program = Elk.Program.of_schedule sched in
+      let r = V.run ~rules:sel ~program env.D.ctx sched in
+      Format.printf "%a" V.pp_report r;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+          failing_write ~what:"verification report" (fun () ->
+              let oc = open_out path in
+              output_string oc (V.report_to_json r);
+              close_out oc);
+          Format.printf "wrote report to %s@." path);
+      write_metrics metrics_out;
+      if V.errors r > 0 then exit 1;
+      if strict && V.warnings r > 0 then exit 3
+    end
+  in
+  let plan_t =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~doc:"Verify a serialized plan file instead of compiling.")
+  in
+  let strict_t =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit nonzero (3) on warnings, not only errors (1).")
+  in
+  let rules_t =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ]
+             ~doc:
+               "Comma-separated rule ids or family prefixes (mem, dep, num, bw); \
+                prefix a token with - to suppress it.  $(b,help) lists every rule.")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~doc:"Write the full diagnostic report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify a compiled plan: memory safety, dependency and \
+          order soundness, numeric hygiene, and bandwidth feasibility.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ plan_t $ strict_t $ rules_t
+      $ json_out_t $ metrics_out_t)
+
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
   exit
@@ -397,5 +502,5 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            profile_cmd;
+            profile_cmd; verify_cmd;
           ]))

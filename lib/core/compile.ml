@@ -26,6 +26,15 @@ type t = {
 module Span = Elk_obs.Span
 module Metrics = Elk_obs.Metrics
 
+exception Rejected of string
+
+type verifier =
+  Elk_partition.Partition.ctx -> Schedule.t -> Program.t -> (unit, string) result
+
+let the_verifier : verifier option ref = ref None
+let set_verifier v = the_verifier := v
+let verifier () = !the_verifier
+
 let compile ?(options = default_options) ctx ~pod graph =
   Span.with_span "compile"
     ~attrs:[ ("model", Elk_model.Graph.name graph) ]
@@ -94,6 +103,19 @@ let compile ?(options = default_options) ctx ~pod graph =
           compile_seconds = Unix.gettimeofday () -. t0;
         }
       in
+      (* Static verification gate: never emit a plan the verifier flags
+         with an error.  The hook is installed by Elk_verify when that
+         library is linked; warnings are logged by the hook itself. *)
+      (match !the_verifier with
+      | None -> ()
+      | Some verify -> (
+          match verify ctx t.schedule t.program with
+          | Ok () -> ()
+          | Error msg ->
+              Elk_obs.Logger.error ~src:"compile"
+                ~kvs:[ ("model", Elk_model.Graph.name graph) ]
+                ("plan rejected by verifier: " ^ msg);
+              raise (Rejected msg)));
       Elk_obs.Logger.info ~src:"compile"
         ~kvs:
           [

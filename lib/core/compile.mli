@@ -33,6 +33,25 @@ type t = {
   compile_seconds : float;  (** wall-clock compilation time. *)
 }
 
+exception Rejected of string
+(** Raised by {!compile} when the installed static verifier flags the
+    compiled plan with an [Error]-severity diagnostic: the compiler
+    refuses to emit a plan that static analysis rejects. *)
+
+type verifier =
+  Elk_partition.Partition.ctx -> Schedule.t -> Program.t -> (unit, string) result
+(** A static plan verifier: [Error msg] means the plan must not be
+    emitted.  Warnings are the verifier's own business (it is expected to
+    log them). *)
+
+val set_verifier : verifier option -> unit
+(** Install (or clear) the verifier {!compile} runs on every plan before
+    returning it.  [Elk_verify] installs its standard rule suite here at
+    link time; the indirection exists because the verifier library sits
+    above this one in the build graph. *)
+
+val verifier : unit -> verifier option
+
 val compile :
   ?options:options ->
   Elk_partition.Partition.ctx ->
@@ -40,7 +59,8 @@ val compile :
   Elk_model.Graph.t ->
   t
 (** Raises {!Scheduler.Infeasible} if the model cannot be scheduled even
-    in execution order (some operator exceeds per-core SRAM). *)
+    in execution order (some operator exceeds per-core SRAM), and
+    {!Rejected} if the installed verifier flags the winning plan. *)
 
 val latency : t -> float
 (** End-to-end forward latency: on-chip makespan + inter-chip

@@ -22,35 +22,36 @@ let of_schedule (s : Schedule.t) =
 
 let validate t ~n =
   let preloaded = Array.make n (-1) and executed = Array.make n (-1) in
-  let step = ref 0 in
   let err = ref None in
-  let fail m = if !err = None then err := Some m in
+  (* Every in-stream failure names the 0-based offending instruction index
+     so a diagnostic can point at the exact program location. *)
+  let fail k m = if !err = None then err := Some (Printf.sprintf "instr %d: %s" k m) in
   let last_exec = ref (-1) in
-  Array.iter
-    (fun instr ->
-      incr step;
+  Array.iteri
+    (fun k instr ->
       match instr with
       | Preload_async op ->
-          if op < 0 || op >= n then fail (Printf.sprintf "preload of unknown op %d" op)
-          else if preloaded.(op) >= 0 then fail (Printf.sprintf "op %d preloaded twice" op)
-          else preloaded.(op) <- !step
+          if op < 0 || op >= n then fail k (Printf.sprintf "preload of unknown op %d" op)
+          else if preloaded.(op) >= 0 then fail k (Printf.sprintf "op %d preloaded twice" op)
+          else preloaded.(op) <- k
       | Execute op ->
-          if op < 0 || op >= n then fail (Printf.sprintf "execute of unknown op %d" op)
-          else if executed.(op) >= 0 then fail (Printf.sprintf "op %d executed twice" op)
+          if op < 0 || op >= n then fail k (Printf.sprintf "execute of unknown op %d" op)
+          else if executed.(op) >= 0 then fail k (Printf.sprintf "op %d executed twice" op)
           else begin
-            executed.(op) <- !step;
+            executed.(op) <- k;
             if op <> !last_exec + 1 then
-              fail (Printf.sprintf "execute of op %d out of order" op);
+              fail k (Printf.sprintf "execute of op %d out of order" op);
             last_exec := op;
             if preloaded.(op) < 0 then
-              fail (Printf.sprintf "op %d executed before its preload was issued" op)
+              fail k (Printf.sprintf "op %d executed before its preload was issued" op)
           end)
     t.instrs;
   (match !err with
   | None ->
+      let tail m = if !err = None then err := Some m in
       for op = 0 to n - 1 do
-        if preloaded.(op) < 0 then fail (Printf.sprintf "op %d never preloaded" op);
-        if executed.(op) < 0 then fail (Printf.sprintf "op %d never executed" op)
+        if preloaded.(op) < 0 then tail (Printf.sprintf "op %d never preloaded" op);
+        if executed.(op) < 0 then tail (Printf.sprintf "op %d never executed" op)
       done
   | Some _ -> ());
   match !err with None -> Ok () | Some m -> Error m

@@ -24,7 +24,10 @@ val of_schedule : Schedule.t -> t
 val validate : t -> n:int -> (unit, string) result
 (** Check: every op in [0, n) is preloaded exactly once and executed
     exactly once, executes appear in ascending op order, and each op's
-    [preload_async] precedes its [execute]. *)
+    [preload_async] precedes its [execute].  In-stream violations are
+    reported as ["instr <k>: ..."] with the 0-based index of the
+    offending instruction; [Elk_verify] surfaces these verbatim as
+    [dep.program-stream] diagnostics. *)
 
 val preload_order : t -> int list
 (** Ids in [preload_async] program order. *)

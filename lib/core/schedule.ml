@@ -39,6 +39,26 @@ let preload_step t =
     t.windows;
   step
 
+(* A duration or estimate is admissible when it is a finite, non-negative
+   float: NaN, infinities, and negative times all denote a broken
+   schedule that would silently corrupt the timeline evaluation. *)
+let bad_time v = not (Float.is_finite v) || v < 0.
+
+let numeric_check t =
+  if bad_time t.est_total then Error "non-finite or negative est_total"
+  else
+    Array.fold_left
+      (fun acc e ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if bad_time e.preload_len then
+              Error (Printf.sprintf "op %d: non-finite or negative preload_len" e.node_id)
+            else if bad_time e.dist_time then
+              Error (Printf.sprintf "op %d: non-finite or negative dist_time" e.node_id)
+            else Ok ())
+      (Ok ()) t.entries
+
 let validate t =
   let n = num_ops t in
   if Elk_model.Graph.length t.graph <> n then Error "entry count mismatch with graph"
@@ -46,7 +66,10 @@ let validate t =
   else if Array.length t.windows <> n + 1 then Error "windows length must be N+1"
   else if Array.exists (fun w -> w < 0) t.windows then Error "negative window"
   else if Array.fold_left ( + ) 0 t.windows <> n then Error "windows do not sum to N"
-  else begin
+  else
+    match numeric_check t with
+    | Error _ as e -> e
+    | Ok () ->
     let pos = position_of t in
     if Array.exists (fun p -> p < 0) pos then Error "order is not a permutation"
     else begin
@@ -76,7 +99,6 @@ let validate t =
             pos;
           !ok
     end
-  end
 
 let preload_time ctx op (popt : Elk_partition.Partition.preload_opt) =
   ignore ctx;

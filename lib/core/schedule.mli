@@ -33,9 +33,12 @@ type t = {
 val num_ops : t -> int
 
 val validate : t -> (unit, string) result
-(** Check structural invariants: [order] is a permutation, windows sum to
+(** Check structural invariants — [order] is a permutation, windows sum to
     the op count, every operator's preload position precedes its execution
-    step, entries are indexed consistently. *)
+    step, entries are indexed consistently — and numeric hygiene: every
+    [preload_len], [dist_time], and [est_total] must be a finite,
+    non-negative float (NaN, infinities, and negative durations are
+    rejected before they can corrupt a timeline evaluation). *)
 
 val preload_step : t -> int array
 (** [preload_step s] maps each preload {e position} [k] to the execution

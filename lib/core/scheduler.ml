@@ -59,7 +59,17 @@ let run ?order ?(max_preload = 32) ctx graph =
   let chip = P.ctx_chip ctx in
   let capacity = Elk_arch.Arch.usable_sram_per_core chip in
   let s_exe = Array.make n 0. in
-  let s_pre = Array.make n neg_infinity in
+  (* Preload start times, indexed by preload POSITION.  The channel is
+     sequential in position order, so [spos.(k)] obeys the backward chain
+     [spos.(k) = min (s_exe (op_k), spos.(k+1)) - len (op_k)].  With an
+     arbitrary preload order the op at position [k+1] may execute earlier
+     than the op at [k], so the chain can only be evaluated over the
+     suffix of positions whose operators have all been scheduled; the
+     suffix is recomputed as the induction advances (positions >=
+     [h_floor.(i-1)] hold only operators executing >= i).  Unscheduled
+     positions keep [infinity] (no constraint) and are never read —
+     horizon bounds only access positions >= [h_floor.(i+1)]. *)
+  let spos = Array.make (n + 1) infinity in
   let horizon = Array.make n n in
   let plans : P.plan option array = Array.make n None in
   let popts : P.preload_opt option array = Array.make n None in
@@ -69,7 +79,7 @@ let run ?order ?(max_preload = 32) ctx graph =
   Array.iteri
     (fun id _ -> h_floor.(id) <- (if id = 0 then pos.(0) + 1 else max h_floor.(id - 1) (pos.(id) + 1)))
     pos;
-  let s_pre_pos h = if h >= n then infinity else s_pre.(order.(h)) in
+  let s_pre_pos h = if h >= n then infinity else spos.(h) in
   let node_of i = Graph.get graph i in
   for i = n - 1 downto 0 do
     let node = node_of i in
@@ -169,16 +179,24 @@ let run ?order ?(max_preload = 32) ctx graph =
         horizon.(i) <- h_star;
         s_exe.(i) <- start;
         List.iter (fun (w, o) -> popts.(w) <- Some o) alloc.Alloc.window);
-    (* Schedule op i's own preload as late as possible: just before its
-       execution or before the next preload in order, whichever is
-       earlier. *)
-    let plan_i = match plans.(i) with Some pl -> pl | None -> assert false in
-    let popt_est =
-      match popts.(i) with Some o -> o | None -> min_overhead_opt ctx node.Graph.op plan_i
+    (* Re-evaluate the preload channel over the well-defined suffix of
+       positions (all their operators now scheduled), placing each preload
+       as late as possible: just before its operator's execution or before
+       the next preload in order, whichever is earlier. *)
+    let len_of id =
+      let plan = match plans.(id) with Some pl -> pl | None -> assert false in
+      let o =
+        match popts.(id) with
+        | Some o -> o
+        | None -> min_overhead_opt ctx (node_of id).Graph.op plan
+      in
+      Schedule.preload_time ctx (node_of id).Graph.op o
     in
-    let len = Schedule.preload_time ctx node.Graph.op popt_est in
-    let e_pre = Float.min s_exe.(i) (s_pre_pos (pos.(i) + 1)) in
-    s_pre.(i) <- e_pre -. len
+    let h_from = if i = 0 then 0 else h_floor.(i - 1) in
+    for k = n - 1 downto h_from do
+      let w = order.(k) in
+      if w >= i then spos.(k) <- Float.min s_exe.(w) (s_pre_pos (k + 1)) -. len_of w
+    done
   done;
   (* Op 0 is never inside any window; give it the biggest option that fits
      beside its own execution space. *)
@@ -190,22 +208,15 @@ let run ?order ?(max_preload = 32) ctx graph =
         Some
           (best_opt_within ctx (node_of 0).Graph.op plan0
              ~space:(Float.max 0. (capacity -. plan0.P.exec_space))));
-  let entries =
-    Array.init n (fun id ->
+  (* Materialize every operator's preload option now so the repair pass
+     below and the final entries agree on what is resident. *)
+  for id = 0 to n - 1 do
+    match popts.(id) with
+    | Some _ -> ()
+    | None ->
         let plan = match plans.(id) with Some pl -> pl | None -> assert false in
-        let popt =
-          match popts.(id) with
-          | Some o -> o
-          | None -> min_overhead_opt ctx (node_of id).Graph.op plan
-        in
-        {
-          Schedule.node_id = id;
-          plan;
-          popt;
-          preload_len = Schedule.preload_time ctx (node_of id).Graph.op popt;
-          dist_time = popt.P.dist_time;
-        })
-  in
+        popts.(id) <- Some (min_overhead_opt ctx (node_of id).Graph.op plan)
+  done;
   (* Horizons need not be monotone across steps (a later operator may have
      chosen a smaller one); forward execution monotonizes them — a preload
      that was allowed to start during an earlier execution stays started. *)
@@ -220,9 +231,89 @@ let run ?order ?(max_preload = 32) ctx graph =
   for i = 1 to n - 1 do
     windows.(i + 1) <- eff.(i) - eff.(i - 1)
   done;
-  let t_start =
-    Array.fold_left Float.min s_exe.(0) s_pre
+  (* Capacity repair.  Each step's allocation sized its residency with the
+     horizon that step chose, but the forward monotonization above can
+     leave MORE preloads live during a step than its allocation accounted
+     for: a window opened by an earlier-executing operator keeps later
+     positions resident.  Replay the effective residency and, wherever
+     the combined per-core footprint overflows the SRAM, demote resident
+     operators one Pareto step down their preload-option frontiers —
+     cheapest overhead per freed byte first — until the step fits or
+     every resident is already minimal (any remaining overflow is the
+     documented smallest-plan fallback, charged as contention by the
+     timeline and simulator). *)
+  let issued = Array.make n 0 in
+  let running = ref windows.(0) in
+  for i = 0 to n - 1 do
+    running := !running + windows.(i + 1);
+    issued.(i) <- !running
+  done;
+  let popt_of id = match popts.(id) with Some o -> o | None -> assert false in
+  let plan_of id = match plans.(id) with Some pl -> pl | None -> assert false in
+  for i = 0 to n - 1 do
+    let usage () =
+      let u = ref (plan_of i).P.exec_space in
+      for k = 0 to issued.(i) - 1 do
+        let w = order.(k) in
+        if w > i then u := !u +. (popt_of w).P.preload_space
+      done;
+      !u
+    in
+    let exhausted = ref false in
+    while (not !exhausted) && usage () > capacity +. 1e-6 do
+      (* Best single demotion among residents: the next-smaller option of
+         the operator whose step costs the least added overhead per byte
+         freed. *)
+      let best = ref None in
+      for k = 0 to issued.(i) - 1 do
+        let w = order.(k) in
+        if w > i then begin
+          let cur = popt_of w in
+          let next_smaller =
+            List.fold_left
+              (fun acc o ->
+                if o.P.preload_space < cur.P.preload_space -. 1e-9 then
+                  match acc with
+                  | Some a when a.P.preload_space >= o.P.preload_space -> acc
+                  | _ -> Some o
+                else acc)
+              None
+              (P.preload_options ctx (node_of w).Graph.op (plan_of w))
+          in
+          match next_smaller with
+          | None -> ()
+          | Some o ->
+              let freed = cur.P.preload_space -. o.P.preload_space in
+              let cost =
+                Float.max 0. (P.preload_overhead o -. P.preload_overhead cur)
+                /. Float.max 1e-12 freed
+              in
+              (match !best with
+              | Some (bcost, _, _) when bcost <= cost -> ()
+              | _ -> best := Some (cost, w, o))
+        end
+      done;
+      match !best with
+      | None -> exhausted := true
+      | Some (_, w, o) ->
+          Elk_obs.Metrics.incr "elk_scheduler_popt_demotions_total"
+            ~help:"Preload options demoted by the capacity-repair pass";
+          popts.(w) <- Some o
+    done
+  done;
+  let entries =
+    Array.init n (fun id ->
+        let plan = plan_of id in
+        let popt = popt_of id in
+        {
+          Schedule.node_id = id;
+          plan;
+          popt;
+          preload_len = Schedule.preload_time ctx (node_of id).Graph.op popt;
+          dist_time = popt.P.dist_time;
+        })
   in
+  let t_start = Float.min s_exe.(0) spos.(0) in
   let sched = { Schedule.graph; order; windows; entries; est_total = 0. -. t_start } in
   (match Schedule.validate sched with
   | Ok () -> ()

@@ -28,7 +28,17 @@ val run :
   Schedule.t
 (** [run ctx graph] schedules every operator and returns a complete
     {!Schedule.t} (validated).  [order] defaults to the execution order;
-    [max_preload] caps the enumerated preload numbers (default 64). *)
+    [max_preload] caps the enumerated preload numbers (default 64).
+
+    A final capacity-repair pass replays the {e effective} (monotonized)
+    residency windows and demotes preload options wherever the combined
+    per-core footprint would overflow the SRAM — the per-step allocations
+    only account for the horizon each step chose, so without repair a
+    window opened by an earlier operator could keep more bytes live than
+    a later step budgeted for.  Overflows that persist even with minimal
+    options (an operator bigger than the chip) are tolerated, as before,
+    and charged as contention downstream; [Elk_verify] reports them as
+    [mem.overcommit] warnings. *)
 
 val preload_numbers : Schedule.t -> int array
 (** Per-operator preload numbers ([windows] shifted to operator ids):

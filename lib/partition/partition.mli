@@ -110,6 +110,13 @@ val preload_option_near :
 (** The preload-state option whose broadcast fraction is closest to
     [frac] — the inverse of serializing an option by its fraction. *)
 
+val inject_rate : Elk_arch.Arch.chip -> float
+(** Rate at which the HBM controllers can inject preload traffic into the
+    interconnect: the controllers' aggregate bandwidth on all-to-all, the
+    L2 fabric on clustered chips, the boundary entry strips on a mesh —
+    the denominator of the injection component of {!preload_opt}'s
+    [preload_len], exposed for bandwidth-feasibility lints. *)
+
 val plan_signature : Elk_tensor.Opspec.t -> string
 (** Memoization key: kind, iteration extents and input sharing structure
     (operators from identical layers share a signature). *)

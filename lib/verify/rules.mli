@@ -1,0 +1,53 @@
+(** The registry of verification rules and rule selection.
+
+    Every diagnostic produced by {!Verify.run} cites a rule id from this
+    registry.  Ids are [family.name] ([mem.capacity], [dep.edge-order],
+    ...); the four families mirror the analysis families of the verifier:
+
+    - [mem] — memory safety: per-step SRAM liveness, byte conservation;
+    - [dep] — dependency and order soundness: graph edges vs execute
+      order, schedule/program mutual consistency;
+    - [num] — numeric hygiene: finiteness, estimate drift;
+    - [bw]  — bandwidth feasibility: HBM and injection rooflines. *)
+
+type family = Memory | Dependency | Numeric | Bandwidth
+
+val family_name : family -> string
+(** ["mem"], ["dep"], ["num"], ["bw"] — also the id prefix. *)
+
+type rule = {
+  id : string;
+  family : family;
+  default_severity : Diag.severity;
+  summary : string;  (** one line, shown by [elk verify --rules help]. *)
+}
+
+val all : rule list
+(** Every rule, in family order — the row order of the documentation
+    table. *)
+
+val find : string -> rule option
+
+(** {1 Selection}
+
+    A selection is parsed from a comma-separated spec.  Each token is a
+    rule id or a family prefix; a leading ['-'] suppresses instead of
+    selecting.  If any non-suppressing token is present, only the named
+    rules run (minus suppressions); otherwise all rules run minus
+    suppressions.  Examples: ["mem,dep"], ["-bw.window-roofline"],
+    ["mem,-mem.overfetch"]. *)
+
+type selection
+
+val default_selection : selection
+(** Every rule enabled. *)
+
+val selection_of_string : string -> (selection, string) result
+(** Parse a spec; unknown tokens are reported as an error listing the
+    valid ids. *)
+
+val enabled : selection -> string -> bool
+(** Whether a rule id is enabled under the selection. *)
+
+val enabled_ids : selection -> string list
+(** The enabled rule ids, in {!all} order. *)

@@ -1,0 +1,52 @@
+A clean plan verifies silently: zero diagnostics from every rule, exit 0
+even under --strict.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl -b 2 --strict
+  dit-xl/8x10@4chips: 0 error(s), 0 warning(s), 0 info(s) — 15 rules over 29 ops
+
+At the default batch the diffusion model carries two steps whose minimal
+preload options still overflow the SRAM — the tolerated scheduler
+fallback, reported as warnings.  Warnings keep exit 0 by default but are
+promoted to exit 3 by --strict.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl
+  warning[mem.overcommit] op 3 step 3: 100230 B/core live (3974 B over per-core SRAM) even with minimal preload options; contention is charged downstream
+  warning[mem.overcommit] op 16 step 16: 97122 B/core live (866 B over per-core SRAM) even with minimal preload options; contention is charged downstream
+  dit-xl/8x10@4chips: 0 error(s), 2 warning(s), 0 info(s) — 15 rules over 29 ops
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl --strict > /dev/null
+  [3]
+
+--rules restricts the analyses: family prefixes select whole families.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl -b 2 --rules num,bw
+  dit-xl/8x10@4chips: 0 error(s), 0 warning(s), 0 info(s) — 5 rules over 29 ops
+
+Unknown rule tokens are rejected with the valid ids.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl --rules nope 2>&1 | head -c 40; echo
+  elk_cli: unknown rule(s) nope (valid: me
+  $ ../../bin/elk_cli.exe verify -m dit-xl --rules nope > /dev/null 2>&1
+  [2]
+
+--rules help documents the registry.
+
+  $ ../../bin/elk_cli.exe verify --rules help | awk '{print $1}' | head -9
+  ==
+  rule
+  -----------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------
+  mem.capacity
+  mem.overcommit
+  mem.double-preload
+  mem.use-before-preload
+  mem.underfetch
+  mem.overfetch
+
+The JSON report is machine-readable and self-contained.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl -b 2 --json-out report.json
+  dit-xl/8x10@4chips: 0 error(s), 0 warning(s), 0 info(s) — 15 rules over 29 ops
+  wrote report to report.json
+  $ grep -o '"model":"[^"]*"' report.json; grep -o '"errors":[0-9]*' report.json
+  "model":"dit-xl/8x10@4chips"
+  "errors":0

@@ -23,6 +23,7 @@ let () =
       ("properties", Test_properties.suite);
       ("edges", Test_edges.suite);
       ("fusion", Test_fusion.suite);
+      ("verify", Test_verify.suite);
       ("dse", Test_dse.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,291 @@
+(* The static verifier: every analysis family must flag its broken
+   schedule and stay silent on a clean one, and the compiler must refuse
+   plans the installed verifier rejects. *)
+
+module S = Elk.Schedule
+module P = Elk_partition.Partition
+module G = Elk_model.Graph
+module V = Elk_verify.Verify
+module R = Elk_verify.Rules
+module Dg = Elk_verify.Diag
+
+let ctx () = Lazy.force Tu.default_ctx
+let sched () = Lazy.force Tu.tiny_schedule
+
+let has rule (r : V.report) = List.exists (fun d -> d.Dg.rule = rule) r.V.diags
+
+(* Substring containment, to avoid pulling a string library into tests. *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_has name rule r =
+  if not (has rule r) then
+    Alcotest.failf "%s: expected a %s diagnostic, got [%s]" name rule
+      (String.concat "; "
+         (List.map (fun d -> Format.asprintf "%a" Dg.pp d) r.V.diags))
+
+let check_not name rule r =
+  if has rule r then Alcotest.failf "%s: unexpected %s diagnostic" name rule
+
+(* Every entry claims a preload residency of the full per-core SRAM: any
+   step with at least one live preload must overflow, while the real
+   option frontiers still admit a fitting assignment (reducible). *)
+let inflated ctx (s : S.t) =
+  let capacity = Elk_arch.Arch.usable_sram_per_core (P.ctx_chip ctx) in
+  let entries =
+    Array.map
+      (fun (e : S.op_entry) ->
+        { e with S.popt = { e.S.popt with P.preload_space = capacity } })
+      s.S.entries
+  in
+  { s with S.entries }
+
+let test_clean_golden () =
+  let r = V.run (ctx ()) ~program:(Elk.Program.of_schedule (sched ())) (sched ()) in
+  Alcotest.(check int) "no errors on the scheduler's own output" 0 (V.errors r);
+  check_not "clean" "dep.schedule-structure" r;
+  check_not "clean" "dep.edge-order" r;
+  check_not "clean" "dep.program-stream" r;
+  check_not "clean" "dep.program-consistency" r;
+  check_not "clean" "num.finite" r;
+  check_not "clean" "mem.capacity" r;
+  check_not "clean" "mem.underfetch" r;
+  Alcotest.(check int) "all rules checked" (List.length R.all)
+    (List.length r.V.rules_checked)
+
+let test_capacity_overflow () =
+  let ctx = ctx () in
+  let s = inflated ctx (sched ()) in
+  let r = V.run ctx s in
+  (* The real option frontiers still admit a fitting assignment, so the
+     overflow is reducible: an error, not the tolerated fallback. *)
+  check_has "inflated" "mem.capacity" r;
+  check_not "inflated" "mem.overcommit" r;
+  Alcotest.(check bool) "error severity" true (V.errors r > 0)
+
+let test_use_before_preload () =
+  let s = sched () in
+  let n = S.num_ops s in
+  let order = Array.copy s.S.order in
+  let p0 = ref 0 in
+  Array.iteri (fun k id -> if id = 0 then p0 := k) order;
+  let tmp = order.(n - 1) in
+  order.(n - 1) <- order.(!p0);
+  order.(!p0) <- tmp;
+  let r = V.run (ctx ()) { s with S.order } in
+  check_has "late preload" "mem.use-before-preload" r;
+  check_has "late preload" "dep.schedule-structure" r
+
+let test_double_preload () =
+  let s = sched () in
+  let order = Array.copy s.S.order in
+  order.(1) <- order.(0);
+  let r = V.run (ctx ()) { s with S.order } in
+  check_has "duplicate" "mem.double-preload" r;
+  check_has "duplicate" "dep.schedule-structure" r
+
+let test_nan_duration () =
+  let s = sched () in
+  let entries = Array.copy s.S.entries in
+  entries.(0) <- { entries.(0) with S.preload_len = Float.nan };
+  let s' = { s with S.entries } in
+  let r = V.run (ctx ()) s' in
+  check_has "nan" "num.finite" r;
+  check_has "nan" "dep.schedule-structure" r;
+  (match S.validate s' with
+  | Ok () -> Alcotest.fail "Schedule.validate must reject a NaN preload_len"
+  | Error _ -> ())
+
+let test_byte_conservation () =
+  let s = sched () in
+  let heavy = ref (-1) in
+  Array.iteri
+    (fun i (e : S.op_entry) ->
+      if !heavy < 0 && e.S.plan.P.hbm_needed_per_core > 16. then heavy := i)
+    s.S.entries;
+  Alcotest.(check bool) "fixture has an HBM-resident op" true (!heavy >= 0);
+  let mangle f =
+    let entries = Array.copy s.S.entries in
+    let e = entries.(!heavy) in
+    entries.(!heavy) <- { e with S.popt = f e.S.popt };
+    V.run (ctx ()) { s with S.entries }
+  in
+  let under =
+    mangle (fun o -> { o with P.preload_space = 0.; dist_bytes_per_core = 0. })
+  in
+  check_has "underfetch" "mem.underfetch" under;
+  let over =
+    mangle (fun o -> { o with P.dist_bytes_per_core = o.P.dist_bytes_per_core +. 4096. })
+  in
+  check_has "overfetch" "mem.overfetch" over;
+  check_not "overfetch is not underfetch" "mem.underfetch" over
+
+let test_program_dependency_violation () =
+  let s = sched () in
+  let p = Elk.Program.of_schedule s in
+  (* Swap the executes of a dependent pair: execute(i) before its dep. *)
+  let i =
+    let found = ref (-1) in
+    Array.iter
+      (fun node -> if !found < 0 && node.G.deps <> [] then found := node.G.id)
+      (G.nodes s.S.graph);
+    !found
+  in
+  Alcotest.(check bool) "fixture has a dependency edge" true (i >= 0);
+  let d = List.hd (G.get s.S.graph i).G.deps in
+  let instrs = Array.copy p.Elk.Program.instrs in
+  let ki = ref (-1) and kd = ref (-1) in
+  Array.iteri
+    (fun k instr ->
+      match instr with
+      | Elk.Program.Execute op when op = i -> ki := k
+      | Elk.Program.Execute op when op = d -> kd := k
+      | _ -> ())
+    instrs;
+  let tmp = instrs.(!ki) in
+  instrs.(!ki) <- instrs.(!kd);
+  instrs.(!kd) <- tmp;
+  let r = V.run (ctx ()) ~program:{ Elk.Program.instrs } s in
+  check_has "swapped executes" "dep.edge-order" r;
+  check_has "swapped executes" "dep.program-stream" r
+
+let test_program_consistency () =
+  let s = sched () in
+  let n = S.num_ops s in
+  let windows = Array.make (n + 1) 0 in
+  windows.(0) <- n;
+  (* A stream that is valid on its own but lays the windows out
+     differently from the schedule under verification. *)
+  let p = Elk.Program.of_schedule { s with S.windows } in
+  let r = V.run (ctx ()) ~program:p s in
+  check_has "foreign program" "dep.program-consistency" r;
+  check_not "stream itself is fine" "dep.program-stream" r
+
+let test_est_total_lints () =
+  let ctx = ctx () in
+  let s = sched () in
+  let r = V.run ctx { s with S.est_total = 1e-15 } in
+  check_has "tiny makespan" "bw.hbm-roofline" r;
+  check_has "tiny makespan" "bw.inject-roofline" r;
+  check_has "tiny makespan" "num.est-drift" r;
+  (* est_total = 0 is the baselines/deserialization sentinel: exempt. *)
+  let r0 = V.run ctx { s with S.est_total = 0. } in
+  check_not "sentinel" "bw.hbm-roofline" r0;
+  check_not "sentinel" "num.est-drift" r0
+
+let test_rule_selection () =
+  (match R.selection_of_string "mem,-mem.overfetch" with
+  | Error m -> Alcotest.failf "selection parse failed: %s" m
+  | Ok sel ->
+      Alcotest.(check bool) "family token" true (R.enabled sel "mem.capacity");
+      Alcotest.(check bool) "suppressed" false (R.enabled sel "mem.overfetch");
+      Alcotest.(check bool) "other family off" false (R.enabled sel "dep.edge-order"));
+  (match R.selection_of_string "bogus.rule" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown token must be rejected");
+  (* A suppressed family must not run at all. *)
+  let s = sched () in
+  let entries = Array.copy s.S.entries in
+  entries.(0) <- { entries.(0) with S.preload_len = Float.nan };
+  let sel =
+    match R.selection_of_string "mem" with Ok s -> s | Error m -> Alcotest.fail m
+  in
+  let r = V.run ~rules:sel (ctx ()) { s with S.entries } in
+  check_not "num suppressed" "num.finite" r;
+  Alcotest.(check int) "only mem rules checked" 6 (List.length r.V.rules_checked)
+
+let test_check_and_report () =
+  let ctx = ctx () in
+  let s = sched () in
+  (match V.check ctx s (Elk.Program.of_schedule s) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "clean schedule rejected: %s" m);
+  let entries = Array.copy s.S.entries in
+  entries.(0) <- { entries.(0) with S.preload_len = Float.nan };
+  let broken = { s with S.entries } in
+  (match V.check ctx broken (Elk.Program.of_schedule broken) with
+  | Ok () -> Alcotest.fail "NaN schedule must be rejected by check"
+  | Error m ->
+      Alcotest.(check bool) "summary cites the rule" true
+        (contains ~sub:"num.finite" m || contains ~sub:"dep.schedule-structure" m));
+  let r = V.run ctx broken in
+  let json = V.report_to_json r in
+  Alcotest.(check bool) "json has error count" true
+    (contains ~sub:"\"errors\":" json);
+  let text = Format.asprintf "%a" V.pp_report r in
+  Alcotest.(check bool) "text has summary" true
+    (contains ~sub:"error(s)" text)
+
+let test_compile_refuses_flagged_plans () =
+  Alcotest.(check bool) "verifier installed at link time" true
+    (Elk.Compile.verifier () <> None);
+  let ctx = ctx () in
+  let pod = Lazy.force Tu.default_pod in
+  let g = Lazy.force Tu.tiny_llama in
+  let saved = Elk.Compile.verifier () in
+  Elk.Compile.set_verifier (Some (fun _ _ _ -> Error "nope"));
+  Fun.protect
+    ~finally:(fun () -> Elk.Compile.set_verifier saved)
+    (fun () ->
+      Alcotest.check_raises "rejected" (Elk.Compile.Rejected "nope") (fun () ->
+          ignore (Elk.Compile.compile ctx ~pod g)));
+  (* With the real verifier restored, the same compile goes through. *)
+  ignore (Elk.Compile.compile ctx ~pod g)
+
+let test_schedule_validate_numeric () =
+  let s = sched () in
+  let expect_error name s' =
+    match S.validate s' with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s: validate must reject" name
+  in
+  let with_entry0 f =
+    let entries = Array.copy s.S.entries in
+    entries.(0) <- f entries.(0);
+    { s with S.entries }
+  in
+  expect_error "nan preload_len"
+    (with_entry0 (fun e -> { e with S.preload_len = Float.nan }));
+  expect_error "negative dist_time"
+    (with_entry0 (fun e -> { e with S.dist_time = -1e-9 }));
+  expect_error "infinite est_total" { s with S.est_total = Float.infinity };
+  expect_error "negative est_total" { s with S.est_total = -1. };
+  match S.validate s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "clean schedule rejected: %s" m
+
+let test_program_validate_reports_index () =
+  let p =
+    { Elk.Program.instrs = [| Elk.Program.Execute 0; Elk.Program.Preload_async 0 |] }
+  in
+  match Elk.Program.validate p ~n:1 with
+  | Ok () -> Alcotest.fail "execute-before-preload must be rejected"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S names the instruction" m)
+        true
+        (contains ~sub:"instr 0:" m)
+
+let suite =
+  [
+    Alcotest.test_case "verify: clean golden schedule" `Slow test_clean_golden;
+    Alcotest.test_case "verify: SRAM overflow" `Slow test_capacity_overflow;
+    Alcotest.test_case "verify: use before preload" `Slow test_use_before_preload;
+    Alcotest.test_case "verify: double preload" `Slow test_double_preload;
+    Alcotest.test_case "verify: NaN duration" `Slow test_nan_duration;
+    Alcotest.test_case "verify: byte conservation" `Slow test_byte_conservation;
+    Alcotest.test_case "verify: dependency violation" `Slow
+      test_program_dependency_violation;
+    Alcotest.test_case "verify: program consistency" `Slow test_program_consistency;
+    Alcotest.test_case "verify: est_total lints" `Slow test_est_total_lints;
+    Alcotest.test_case "verify: rule selection" `Slow test_rule_selection;
+    Alcotest.test_case "verify: check + report output" `Slow test_check_and_report;
+    Alcotest.test_case "verify: compile refuses flagged plans" `Slow
+      test_compile_refuses_flagged_plans;
+    Alcotest.test_case "schedule: validate numeric hygiene" `Quick
+      test_schedule_validate_numeric;
+    Alcotest.test_case "program: validate reports instr index" `Quick
+      test_program_validate_reports_index;
+  ]
