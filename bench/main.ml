@@ -18,7 +18,8 @@ module D = Elk_dse.Dse
 module P = Elk_partition.Partition
 
 let bench_elk_options =
-  { Elk.Compile.reorder = true; max_orders = 8; max_edit_distance = 4; max_preload = 32; fuse = false }
+  { Elk.Compile.reorder = true; max_orders = 8; max_edit_distance = 4; max_preload = 32;
+    fuse = false; prune_margin = 0.25 }
 
 let width_factor = 8
 let ctx_len = 2048 / width_factor
@@ -895,6 +896,108 @@ let attrib () =
       Printf.printf "wrote BENCH_attrib.json\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Compile-time baseline (BENCH_compile.json)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Time the full [Compile.compile] order search sequentially and on the
+   parallel pool, per model x topology, and snapshot the numbers next to
+   the repo's committed copy.  Wall-clock compile times are inherently
+   machine-dependent, so CI diffs this file non-blocking (unlike
+   BENCH_attrib.json); the [plan_identical] flags, however, must stay
+   true — they re-check the determinism contract of the parallel search
+   on the benchmark workloads themselves. *)
+let compile_bench () =
+  let max_orders = 24 in
+  (* Counters (orders pruned/tried) only record while obs is on. *)
+  let was_enabled = Elk_obs.Control.is_enabled () in
+  Elk_obs.Control.enable ();
+  (* A 10% margin is enough to show the branch-and-bound bounds firing on
+     these workloads (the conservative 25% default prunes nothing here)
+     while keeping every near-winner in the race. *)
+  let opts = { bench_elk_options with Elk.Compile.max_orders; prune_margin = 0.1 } in
+  let counter name =
+    match List.assoc_opt name (Elk_obs.Metrics.counters ()) with
+    | Some v -> v
+    | None -> 0.
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Compile time: sequential vs parallel order search (max_orders=%d)"
+           max_orders)
+      ~columns:[ "Model"; "Topology"; "jobs"; "compile (s)"; "orders"; "pruned"; "speedup" ]
+  in
+  let rows = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun (tname, topology) ->
+          let g = decode cfg ~batch:32 in
+          let runs =
+            List.map
+              (fun jobs ->
+                (* A fresh env per run: memo caches warmed by the previous
+                   jobs level would flatter the second measurement. *)
+                let env = D.env ~topology () in
+                Elk_util.Pool.set_jobs jobs;
+                let pruned0 = counter "elk_compile_orders_pruned_total" in
+                let c = Elk.Compile.compile ~options:opts env.D.ctx ~pod:env.D.pod g in
+                let pruned =
+                  int_of_float (counter "elk_compile_orders_pruned_total" -. pruned0)
+                in
+                (jobs, c, pruned))
+              [ 1; 4 ]
+          in
+          let seq_time =
+            match runs with (_, c, _) :: _ -> c.Elk.Compile.compile_seconds | [] -> 0.
+          in
+          let seq_plan =
+            match runs with (_, c, _) :: _ -> Elk.Planio.export c.Elk.Compile.schedule | [] -> ""
+          in
+          List.iter
+            (fun (jobs, c, pruned) ->
+              let speedup = seq_time /. Float.max 1e-9 c.Elk.Compile.compile_seconds in
+              let identical = Elk.Planio.export c.Elk.Compile.schedule = seq_plan in
+              Table.add_row t
+                [ cfg.Zoo.cfg_name; tname; string_of_int jobs;
+                  Printf.sprintf "%.2f" c.Elk.Compile.compile_seconds;
+                  string_of_int c.Elk.Compile.orders_tried; string_of_int pruned;
+                  (if jobs = 1 then "-" else Printf.sprintf "%.2fx" speedup) ];
+              rows :=
+                Printf.sprintf
+                  "{\"model\":%S,\"topology\":%S,\"jobs\":%d,\"compile_s\":%.3f,\
+                   \"orders_tried\":%d,\"pruned\":%d,\"latency_us\":%.4g}"
+                  cfg.Zoo.cfg_name tname jobs c.Elk.Compile.compile_seconds
+                  c.Elk.Compile.orders_tried pruned
+                  (Elk.Compile.latency c *. 1e6)
+                :: !rows;
+              if jobs <> 1 then
+                speedups :=
+                  Printf.sprintf
+                    "{\"model\":%S,\"topology\":%S,\"jobs\":%d,\"speedup\":%.2f,\
+                     \"plan_identical\":%b}"
+                    cfg.Zoo.cfg_name tname jobs speedup identical
+                  :: !speedups)
+            runs)
+        [ ("a2a", `All_to_all); ("mesh", `Mesh) ])
+    [ llama13b; gemma27b ];
+  Elk_util.Pool.set_jobs 1;
+  if not was_enabled then Elk_obs.Control.disable ();
+  Table.print t;
+  let json =
+    Printf.sprintf
+      "{\"max_orders\":%d,\"jobs_levels\":[1,4],\n\"runs\":[\n%s\n],\n\"speedups\":[\n%s\n]}\n"
+      max_orders
+      (String.concat ",\n" (List.rev !rows))
+      (String.concat ",\n" (List.rev !speedups))
+  in
+  let oc = open_out "BENCH_compile.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_compile.json\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1008,6 +1111,7 @@ let experiments =
     ("full", full);
     ("energy", energy);
     ("attrib", attrib);
+    ("compile", compile_bench);
     ("micro", micro);
   ]
 

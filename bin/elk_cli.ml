@@ -73,6 +73,18 @@ let build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill =
 
 let make_env ~chips ~cores ~topology = D.env ~chips ~cores ~topology ()
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the parallel candidate-order search (default: \
+           $(b,ELK_JOBS), else the machine's recommended domain count).  The \
+           compiled plan is byte-identical whatever the value.")
+
+let set_jobs jobs = Option.iter Elk_util.Pool.set_jobs jobs
+
 (* ---- observability export flags (shared by compile/compare/report/profile) *)
 
 let metrics_out_t =
@@ -147,9 +159,10 @@ let info_cmd =
     Term.(const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t)
 
 let compile_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology trace codegen_dir
-      save_plan metrics_out trace_out =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs trace
+      codegen_dir save_plan metrics_out trace_out =
     obs_setup ~metrics_out ~trace_out;
+    set_jobs jobs;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
@@ -196,13 +209,14 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model with Elk and print the plan summary.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ trace_t $ codegen_t $ save_plan_t $ metrics_out_t
-      $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ trace_t $ codegen_t $ save_plan_t
+      $ metrics_out_t $ trace_out_t)
 
 let compare_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs metrics_out
       trace_out =
     obs_setup ~metrics_out ~trace_out;
+    set_jobs jobs;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let t =
@@ -228,7 +242,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Evaluate all designs on one model with the simulator.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ metrics_out_t $ trace_out_t)
 
 let program_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology design limit =
@@ -259,9 +273,10 @@ let program_cmd =
       $ chips_t $ cores_t $ topo_t $ design_t $ limit_t)
 
 let report_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology metrics_out
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs metrics_out
       trace_out =
     obs_setup ~metrics_out ~trace_out;
+    set_jobs jobs;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
@@ -274,7 +289,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Compile, simulate and print a Markdown diagnostics report.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ metrics_out_t $ trace_out_t)
 
 let analyze_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology design top
@@ -326,9 +341,10 @@ let analyze_cmd =
       $ trace_out_t)
 
 let profile_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology per_core
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs per_core
       metrics_out trace_out =
     Elk_obs.Control.enable ();
+    set_jobs jobs;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
@@ -388,7 +404,7 @@ let profile_cmd =
           compile-time table.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ per_core_t $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ per_core_t $ metrics_out_t $ trace_out_t)
 
 let verify_cmd =
   let module V = Elk_verify.Verify in
@@ -409,9 +425,10 @@ let verify_cmd =
       R.all;
     Elk_util.Table.print t
   in
-  let run cfg scale layer_factor batch ctx prefill chips cores topology design
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs design
       plan_file strict rules json_out metrics_out =
     obs_setup ~metrics_out ~trace_out:None;
+    set_jobs jobs;
     if rules = Some "help" then print_rules ()
     else begin
       let sel =
@@ -492,7 +509,7 @@ let verify_cmd =
           order soundness, numeric hygiene, and bandwidth feasibility.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ design_t $ plan_t $ strict_t $ rules_t
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ design_t $ plan_t $ strict_t $ rules_t
       $ json_out_t $ metrics_out_t)
 
 let () =

@@ -33,7 +33,17 @@ let topo_t =
 
 let batch_t = Arg.(value & opt int 32 & info [ "b"; "batch" ] ~doc:"Batch size.")
 
-let run cfg sweep topology batch =
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for design-point evaluation and order search \
+           (default: $(b,ELK_JOBS), else the recommended domain count).")
+
+let run cfg sweep topology batch jobs =
+  Option.iter Elk_util.Pool.set_jobs jobs;
   let scaled = Elk_model.Zoo.scale cfg ~factor:8 ~layer_factor:10 in
   let g = Elk_model.Zoo.build scaled (Elk_model.Zoo.Decode { batch; ctx = 256 }) in
   let base_hbm =
@@ -80,4 +90,5 @@ let () =
   let doc = "Design-space exploration sweeps for ICCA chips (paper Figs 19-24)." in
   exit
     (Cmd.eval
-       (Cmd.v (Cmd.info "elk_dse_cli" ~doc) Term.(const run $ model_t $ sweep_t $ topo_t $ batch_t)))
+       (Cmd.v (Cmd.info "elk_dse_cli" ~doc)
+          Term.(const run $ model_t $ sweep_t $ topo_t $ batch_t $ jobs_t)))

@@ -4,10 +4,18 @@ type options = {
   max_edit_distance : int;
   max_preload : int;
   fuse : bool;
+  prune_margin : float;
 }
 
 let default_options =
-  { reorder = true; max_orders = 24; max_edit_distance = 6; max_preload = 32; fuse = false }
+  {
+    reorder = true;
+    max_orders = 24;
+    max_edit_distance = 6;
+    max_preload = 32;
+    fuse = false;
+    prune_margin = 0.25;
+  }
 
 let dyn_options = { default_options with reorder = false }
 
@@ -56,34 +64,119 @@ let compile ?(options = default_options) ctx ~pod graph =
                 ~max_edit_distance:options.max_edit_distance ctx chip_graph
             else [ Array.init (Elk_model.Graph.length chip_graph) (fun i -> i) ])
       in
-      let best = ref None and tried = ref 0 in
-      List.iter
-        (fun order ->
-          Metrics.incr "elk_compile_orders_tried_total"
-            ~help:"Candidate preload orders attempted by the scheduler";
-          match
-            (try
-               let s =
-                 Span.with_span "schedule" (fun () ->
-                     Scheduler.run ~order ~max_preload:options.max_preload ctx
-                       chip_graph)
-               in
-               Some (s, Span.with_span "timeline-eval" (fun () -> Timeline.evaluate ctx s))
-             with Scheduler.Infeasible _ ->
-               Metrics.incr "elk_compile_orders_infeasible_total"
-                 ~help:"Candidate preload orders rejected as infeasible";
-               None)
-          with
-          | None -> ()
-          | Some (s, tl) ->
-              incr tried;
-              (match !best with
-              | Some (_, btl) when btl.Timeline.total <= tl.Timeline.total -> ()
-              | _ -> best := Some (s, tl)))
-        orders;
+      (* Branch-and-bound order search.  The head candidate (always the
+         execution order) is scheduled and evaluated sequentially: it
+         seeds the incumbent deterministically and warms the partition
+         memo caches before the fan-out.  The remaining candidates run on
+         the shared domain pool; each is bounded twice:
+
+         - a {e static} scheduler cutoff — the baseline's stall-free
+           lower bound stretched by [prune_margin] — aborts hopeless
+           backward inductions early ({!Scheduler.Pruned}).  The cutoff
+           depends only on the baseline, so the set of orders it prunes
+           is identical whatever the jobs count;
+         - a shared incumbent (best full timeline total so far) lets a
+           worker skip the quadratic {!Timeline.evaluate} whenever the
+           candidate's O(n) {!Timeline.lower_bound} already exceeds it.
+           Skipping is sound and cannot perturb the winner: the skipped
+           total would be [>= lb > incumbent >= final best], strictly
+           worse, so ties still resolve to the lowest candidate index.
+
+         The final fold runs in candidate-list order, making the chosen
+         plan byte-identical across jobs counts. *)
+      let schedule_order ?cutoff order =
+        Metrics.incr "elk_compile_orders_tried_total"
+          ~help:"Candidate preload orders attempted by the scheduler";
+        try
+          Some
+            (Span.with_span "schedule" (fun () ->
+                 Scheduler.run ~order ~max_preload:options.max_preload ?cutoff ctx
+                   chip_graph))
+        with
+        | Scheduler.Infeasible _ ->
+            Metrics.incr "elk_compile_orders_infeasible_total"
+              ~help:"Candidate preload orders rejected as infeasible";
+            None
+        | Scheduler.Pruned ->
+            Metrics.incr "elk_compile_orders_pruned_total"
+              ~help:"Candidate preload orders pruned by the branch-and-bound lower bound";
+            None
+      in
+      let timeline_of s =
+        Span.with_span "timeline-eval" (fun () -> Timeline.evaluate ctx s)
+      in
+      let base =
+        match orders with
+        | [] -> None
+        | first :: _ -> (
+            match schedule_order first with
+            | None -> None
+            | Some s -> Some (s, timeline_of s))
+      in
+      let cutoff =
+        match base with
+        | Some (s, _) when options.prune_margin >= 0. ->
+            Timeline.lower_bound ctx s *. (1. +. options.prune_margin)
+        | _ -> infinity
+      in
+      let incumbent =
+        Atomic.make
+          (match base with Some (_, tl) -> tl.Timeline.total | None -> infinity)
+      in
+      let rest = match orders with [] -> [] | _ :: tl -> tl in
+      let candidates =
+        Elk_util.Pool.map (Elk_util.Pool.get ())
+          (fun order ->
+            match schedule_order ~cutoff order with
+            | None -> None
+            | Some s ->
+                (* Two evaluation skips: against the static cutoff (fires
+                   deterministically — the scheduler's intermediate bound
+                   is weaker and misses candidates whose final stall-free
+                   makespan exceeds it) and against the shared incumbent
+                   (timing-dependent but sound, see above). *)
+                if
+                  Timeline.lower_bound ctx s > Float.min cutoff (Atomic.get incumbent)
+                then begin
+                  Metrics.incr "elk_compile_orders_pruned_total"
+                    ~help:
+                      "Candidate preload orders pruned by the branch-and-bound lower bound";
+                  (* Scheduled but not fully evaluated: still counts as
+                     tried, keeping [orders_tried] jobs-independent. *)
+                  Some (s, None)
+                end
+                else begin
+                  let tl = timeline_of s in
+                  let rec relax () =
+                    let cur = Atomic.get incumbent in
+                    if
+                      tl.Timeline.total < cur
+                      && not (Atomic.compare_and_set incumbent cur tl.Timeline.total)
+                    then relax ()
+                  in
+                  relax ();
+                  Some (s, Some tl)
+                end)
+          rest
+      in
+      let tried =
+        (match base with Some _ -> 1 | None -> 0)
+        + List.length (List.filter Option.is_some candidates)
+      in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match c with
+            | Some (s, Some tl) -> (
+                match acc with
+                | Some (_, btl) when btl.Timeline.total <= tl.Timeline.total -> acc
+                | _ -> Some (s, tl))
+            | Some (_, None) | None -> acc)
+          base candidates
+      in
       let s, tl, tried =
-        match !best with
-        | Some (s, tl) -> (s, tl, !tried)
+        match best with
+        | Some (s, tl) -> (s, tl, tried)
         | None ->
             (* Re-run in execution order to surface the underlying error. *)
             let s = Span.with_span "schedule" (fun () -> Scheduler.run ctx chip_graph) in

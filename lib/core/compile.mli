@@ -12,11 +12,20 @@ type options = {
   max_edit_distance : int;  (** Kendall-tau bound on per-layer reorders. *)
   max_preload : int;  (** cap on per-operator preload numbers. *)
   fuse : bool;  (** run the §8 pointwise-fusion pass before scheduling. *)
+  prune_margin : float;
+      (** slack of the branch-and-bound scheduler cutoff: candidate
+          orders whose stall-free lower bound exceeds the execution
+          order's by more than this fraction are abandoned mid-induction.
+          Negative disables the cutoff (the sound incumbent skip inside
+          the search still applies).  The cutoff is derived solely from
+          the always-evaluated baseline order, so pruning — and the
+          chosen plan — is identical whatever the jobs count. *)
 }
 
 val default_options : options
 (** Elk-Full: reordering on, 24 orders, edit distance 6, fusion off (the
-    paper's Elk treats fusion as an optional compatibility pass, §8). *)
+    paper's Elk treats fusion as an optional compatibility pass, §8),
+    prune margin 0.25. *)
 
 val dyn_options : options
 (** Elk-Dyn: scheduling and allocation only, no reordering (§6.1). *)
@@ -60,7 +69,14 @@ val compile :
   t
 (** Raises {!Scheduler.Infeasible} if the model cannot be scheduled even
     in execution order (some operator exceeds per-core SRAM), and
-    {!Rejected} if the installed verifier flags the winning plan. *)
+    {!Rejected} if the installed verifier flags the winning plan.
+
+    Candidate orders beyond the first are scheduled and evaluated on the
+    shared {!Elk_util.Pool} (size it with [Elk_util.Pool.set_jobs] or
+    [ELK_JOBS]); the returned plan is byte-identical whatever the jobs
+    count — ties between equal-makespan orders always resolve to the
+    lowest candidate index, and pruning uses bounds that cannot exclude
+    a winner. *)
 
 val latency : t -> float
 (** End-to-end forward latency: on-chip makespan + inter-chip

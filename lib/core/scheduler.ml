@@ -3,6 +3,10 @@ module P = Elk_partition.Partition
 
 exception Infeasible of string
 
+exception Pruned
+(* Raised by [run ~cutoff] as soon as the schedule under construction
+   provably cannot finish within [cutoff] (see the bound note below). *)
+
 (* Default preload option for an operator the allocator has not assigned
    yet: the one minimizing total preload overhead (distribution time plus
    interconnect-imposed preload lengthening). *)
@@ -43,7 +47,7 @@ let best_opt_within ctx op plan ~space =
    and the horizon maximizing T_s_exe(i) = T_e_exe(i) - span(i) wins,
    where span(i) comes from the cost-aware allocator run over the
    operators resident on chip at that horizon. *)
-let run ?order ?(max_preload = 32) ctx graph =
+let run ?order ?(max_preload = 32) ?(cutoff = infinity) ctx graph =
   Elk_obs.Metrics.incr "elk_scheduler_runs_total"
     ~help:"Scheduler invocations (one per candidate preload order)";
   let n = Graph.length graph in
@@ -179,6 +183,18 @@ let run ?order ?(max_preload = 32) ctx graph =
         horizon.(i) <- h_star;
         s_exe.(i) <- start;
         List.iter (fun (w, o) -> popts.(w) <- Some o) alloc.Alloc.window);
+    (* Branch-and-bound early exit (§4.4 search): the backward induction
+       pins op [n-1]'s window bound at 0, and every earlier start can only
+       move left — [s_exe] is nondecreasing in [i] — while the final
+       estimate is [-(min s_exe.(0) spos.(0)) >= -s_exe.(i)].  So once
+       [-s_exe.(i)] exceeds the caller's cutoff the completed schedule's
+       stall-free makespan provably would too, and the remaining O(n)
+       induction steps (each an allocator sweep) are wasted work. *)
+    if 0. -. s_exe.(i) > cutoff then begin
+      Elk_obs.Metrics.incr "elk_scheduler_early_exits_total"
+        ~help:"Scheduler runs abandoned mid-induction by the search cutoff";
+      raise Pruned
+    end;
     (* Re-evaluate the preload channel over the well-defined suffix of
        positions (all their operators now scheduled), placing each preload
        as late as possible: just before its operator's execution or before

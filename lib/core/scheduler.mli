@@ -20,15 +20,29 @@ exception Infeasible of string
     plan within per-core SRAM), or when a supplied preload order leaves an
     operator unpreloadable. *)
 
+exception Pruned
+(** Raised by [run ~cutoff] when, partway through the backward induction,
+    the stall-free makespan of any completion already exceeds [cutoff]:
+    the anchored start times [s_exe] only move left as the induction
+    walks back, so [-s_exe.(i)] is a monotone lower bound of the final
+    estimate.  The branch-and-bound order search in {!Compile.compile}
+    uses this to abandon candidate orders that provably cannot beat its
+    deterministic incumbent without paying for the remaining allocator
+    sweeps.  Never raised when [cutoff] is omitted. *)
+
 val run :
   ?order:int array ->
   ?max_preload:int ->
+  ?cutoff:float ->
   Elk_partition.Partition.ctx ->
   Elk_model.Graph.t ->
   Schedule.t
 (** [run ctx graph] schedules every operator and returns a complete
     {!Schedule.t} (validated).  [order] defaults to the execution order;
-    [max_preload] caps the enumerated preload numbers (default 64).
+    [max_preload] caps the enumerated preload numbers (default 64);
+    [cutoff] (default [infinity]) makes the induction raise {!Pruned} as
+    soon as the schedule under construction provably cannot finish within
+    it.
 
     A final capacity-repair pass replays the {e effective} (monotonized)
     residency windows and demotes preload options wherever the combined

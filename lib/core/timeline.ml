@@ -173,6 +173,44 @@ let evaluate ctx (s : Schedule.t) =
           });
   }
 
+(* Stall-free replay of [evaluate]'s forward pass: identical preload
+   gating and channel serialization, but the O(n^2) interconnect-stall
+   term is dropped.  Stalls are nonnegative and only ever push later
+   execution (and through the window gates, later preloads) further out,
+   so every [exe_end] here is <= its stalled counterpart and the result
+   is a true lower bound of [evaluate ctx s).total] — which makes it a
+   sound branch-and-bound pruning bound for the order search. *)
+let lower_bound ctx (s : Schedule.t) =
+  (match Schedule.validate s with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Timeline.lower_bound: " ^ m));
+  ignore (P.ctx_chip ctx);
+  let n = Schedule.num_ops s in
+  let step = Schedule.preload_step s in
+  let pre_end = Array.make n 0. in
+  let exe_end = Array.make n 0. in
+  let cursor = ref 0 in
+  let pre_channel_free = ref 0. in
+  let issue_up_to max_step =
+    while !cursor < n && step.(!cursor) <= max_step do
+      let op = s.Schedule.order.(!cursor) in
+      let w = step.(!cursor) in
+      let gate = if w <= 1 then 0. else exe_end.(w - 2) in
+      let st = Float.max !pre_channel_free gate in
+      pre_end.(op) <- st +. s.Schedule.entries.(op).Schedule.preload_len;
+      pre_channel_free := pre_end.(op);
+      incr cursor
+    done
+  in
+  for i = 0 to n - 1 do
+    issue_up_to (i + 1);
+    let entry = s.Schedule.entries.(i) in
+    let prev_end = if i = 0 then 0. else exe_end.(i - 1) in
+    let start = Float.max prev_end pre_end.(i) in
+    exe_end.(i) <- start +. entry.Schedule.dist_time +. entry.Schedule.plan.P.exec_time
+  done;
+  exe_end.(n - 1)
+
 let pp_breakdown fmt b =
   Format.fprintf fmt "preload=%a exec=%a overlap=%a interconnect=%a" Elk_util.Units.pp_time
     b.preload_only Elk_util.Units.pp_time b.execute_only Elk_util.Units.pp_time b.overlapped

@@ -57,23 +57,69 @@ let plan_elk_full_sim env graph (options : Elk.Compile.options) =
         ~max_edit_distance:options.Elk.Compile.max_edit_distance env.ctx cg
     else [ Array.init (Elk_model.Graph.length cg) (fun i -> i) ]
   in
-  List.fold_left
-    (fun best order ->
-      match
-        (try
-           let s =
-             Elk.Scheduler.run ~order ~max_preload:options.Elk.Compile.max_preload env.ctx
-               cg
-           in
-           Some (s, Elk_sim.Sim.run env.ctx s)
-         with Elk.Scheduler.Infeasible _ -> None)
-      with
-      | None -> best
-      | Some (s, r) -> (
-          match best with
-          | Some (_, br) when br.Elk_sim.Sim.total <= r.Elk_sim.Sim.total -> best
-          | _ -> Some (s, r)))
-    None orders
+  (* Same shape as the search in [Compile.compile]: the head order runs
+     sequentially (deterministic baseline, warm memo caches), the rest
+     fan out on the shared domain pool under the static branch-and-bound
+     scheduler cutoff derived from the baseline.  Candidates here are
+     compared on {e simulated} totals, which the analytic lower bound
+     does not provably bound — so, unlike [Compile.compile], there is no
+     incumbent-based evaluation skip: it could prune a simulated winner
+     and make the result depend on worker timing.  The ordered fold keeps
+     ties on the lowest candidate index. *)
+  let schedule_order ?cutoff order =
+    try
+      Some
+        (Elk.Scheduler.run ~order ~max_preload:options.Elk.Compile.max_preload ?cutoff
+           env.ctx cg)
+    with
+    | Elk.Scheduler.Infeasible _ -> None
+    | Elk.Scheduler.Pruned ->
+        Elk_obs.Metrics.incr "elk_dse_orders_pruned_total"
+          ~help:"Candidate preload orders pruned in the simulator-backed order search";
+        None
+  in
+  match orders with
+  | [] -> None
+  | first :: rest ->
+      let base =
+        match schedule_order first with
+        | None -> None
+        | Some s -> Some (s, Elk_sim.Sim.run env.ctx s)
+      in
+      let cutoff =
+        match base with
+        | Some (s, _) when options.Elk.Compile.prune_margin >= 0. ->
+            Elk.Timeline.lower_bound env.ctx s
+            *. (1. +. options.Elk.Compile.prune_margin)
+        | _ -> infinity
+      in
+      let candidates =
+        Elk_util.Pool.map (Elk_util.Pool.get ())
+          (fun order ->
+            match schedule_order ~cutoff order with
+            | None -> None
+            | Some s ->
+                (* Deterministic skip of the (expensive) simulation when
+                   the completed schedule's stall-free bound already blows
+                   the static cutoff. *)
+                if Elk.Timeline.lower_bound env.ctx s > cutoff then begin
+                  Elk_obs.Metrics.incr "elk_dse_orders_pruned_total"
+                    ~help:
+                      "Candidate preload orders pruned in the simulator-backed order search";
+                  None
+                end
+                else Some (s, Elk_sim.Sim.run env.ctx s))
+          rest
+      in
+      List.fold_left
+        (fun best c ->
+          match c with
+          | None -> best
+          | Some (s, r) -> (
+              match best with
+              | Some (_, br) when br.Elk_sim.Sim.total <= r.Elk_sim.Sim.total -> best
+              | _ -> Some (s, r)))
+        base candidates
 
 let evaluate ?elk_options env graph design =
   Elk_obs.Span.with_span "dse-eval"
@@ -127,4 +173,7 @@ let evaluate ?elk_options env graph design =
       }
 
 let evaluate_all ?elk_options env graph =
-  List.map (evaluate ?elk_options env graph) B.all
+  (* Design points are independent; fan them out on the shared pool.
+     [Pool.map] preserves order, and a nested order search inside an
+     Elk-Full evaluation simply runs inline on its worker. *)
+  Elk_util.Pool.map (Elk_util.Pool.get ()) (evaluate ?elk_options env graph) B.all

@@ -4,37 +4,45 @@ type t = {
   dur : float;
   depth : int;
   seq : int;
+  domain : int;
   attrs : (string * string) list;
 }
 
 let lock = Mutex.create ()
 let completed : t list ref = ref [] (* reverse completion order *)
 let n_completed = ref 0
-let depth = ref 0
+
+(* Nesting depth is a per-domain notion: spans opened by pool workers
+   during the parallel order search nest within their own domain's stack,
+   not within whatever the main domain happens to be timing. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let clear () =
   Mutex.lock lock;
   completed := [];
   n_completed := 0;
-  depth := 0;
+  (* Only the calling domain's depth can be reset; other domains are
+     either idle (depth already 0 — [with_span] restores it on exit) or
+     mid-span, in which case resetting would corrupt their nesting. *)
+  Domain.DLS.get depth_key := 0;
   Mutex.unlock lock
 
 let with_span ?(attrs = []) name f =
   if not (Control.is_enabled ()) then f ()
   else begin
-    Mutex.lock lock;
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     incr depth;
-    Mutex.unlock lock;
+    let domain = (Domain.self () :> int) in
     let t0 = Control.now () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Control.now () in
-        Mutex.lock lock;
         decr depth;
+        Mutex.lock lock;
         incr n_completed;
         completed :=
-          { name; start = t0; dur = t1 -. t0; depth = d; seq = !n_completed; attrs }
+          { name; start = t0; dur = t1 -. t0; depth = d; seq = !n_completed; domain; attrs }
           :: !completed;
         Mutex.unlock lock)
       f
@@ -69,11 +77,26 @@ let chrome_events ?(pid = 1) ?(tid = 3) () =
   | [] -> []
   | ss ->
       let base = List.fold_left (fun a s -> Float.min a s.start) Float.infinity ss in
-      Chrome.thread_name ~pid ~tid "compiler"
-      :: List.map
-           (fun s ->
-             Chrome.complete_event ~pid ~tid ~name:s.name ~cat:"elk-obs"
-               ~start:(s.start -. base) ~dur:s.dur
-               ~args:(List.map (fun (k, v) -> (k, Jsonx.quote v)) s.attrs)
-               ())
-           ss
+      (* One trace thread per domain that recorded spans, numbered from
+         [tid] in domain-id order so the main domain (lowest id) keeps
+         the historical track and workers land on stable later tracks. *)
+      let doms = List.sort_uniq compare (List.map (fun s -> s.domain) ss) in
+      let tid_of d =
+        let rec index i = function
+          | [] -> 0
+          | x :: rest -> if x = d then i else index (i + 1) rest
+        in
+        tid + index 0 doms
+      in
+      List.mapi
+        (fun i _ ->
+          Chrome.thread_name ~pid ~tid:(tid + i)
+            (if i = 0 then "compiler" else Printf.sprintf "compiler-w%d" i))
+        doms
+      @ List.map
+          (fun s ->
+            Chrome.complete_event ~pid ~tid:(tid_of s.domain) ~name:s.name ~cat:"elk-obs"
+              ~start:(s.start -. base) ~dur:s.dur
+              ~args:(List.map (fun (k, v) -> (k, Jsonx.quote v)) s.attrs)
+              ())
+          ss

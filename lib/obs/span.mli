@@ -1,12 +1,15 @@
 (** Nested timed spans with a process-global, mutex-guarded collector.
 
     A span measures one contiguous region of work ({!with_span}); spans
-    opened while another is running nest under it.  Completed spans
-    accumulate in the collector until {!clear}; they can be aggregated
-    into a per-phase table ({!totals}) or exported as Chrome-trace events
-    ({!chrome_events}) onto the same timeline format {!Elk_sim.Trace}
-    emits, so compiler phases and simulated device activity can be viewed
-    together in Perfetto.
+    opened while another is running nest under it.  Nesting is tracked
+    {e per domain} (via [Domain.DLS]), so spans recorded concurrently by
+    the {!Elk_util.Pool} workers of the parallel order search nest
+    correctly within their own domain instead of racing on a shared
+    stack.  Completed spans accumulate in one global collector until
+    {!clear}; they can be aggregated into a per-phase table ({!totals})
+    or exported as Chrome-trace events ({!chrome_events}) onto the same
+    timeline format {!Elk_sim.Trace} emits, so compiler phases and
+    simulated device activity can be viewed together in Perfetto.
 
     When {!Control.is_enabled} is false, {!with_span} runs its thunk
     directly — the disabled cost is one branch and one closure. *)
@@ -15,8 +18,9 @@ type t = {
   name : string;
   start : float;  (** {!Control.now} at entry, seconds. *)
   dur : float;
-  depth : int;  (** nesting depth at entry (0 = top level). *)
-  seq : int;  (** 1-based completion sequence number. *)
+  depth : int;  (** nesting depth at entry (0 = top level), per domain. *)
+  seq : int;  (** 1-based completion sequence number (global). *)
+  domain : int;  (** id of the domain that recorded the span. *)
   attrs : (string * string) list;
 }
 
@@ -36,9 +40,14 @@ val totals : unit -> (string * int * float) list
     deterministic program. *)
 
 val chrome_events : ?pid:int -> ?tid:int -> unit -> string list
-(** Rendered Chrome-trace events for every completed span (plus a
-    thread_name metadata event), timestamps rebased so the earliest span
-    starts at 0.  Empty if nothing was collected.  Default [tid] is 3 —
-    tracks 1 and 2 belong to {!Elk_sim.Trace}. *)
+(** Rendered Chrome-trace events for every completed span, preceded by
+    one thread_name metadata event per recording domain; timestamps are
+    rebased so the earliest span starts at 0.  Domains map to
+    consecutive tracks from [tid] in domain-id order — the main domain
+    keeps the historical "compiler" track, pool workers appear as
+    "compiler-wN".  Empty if nothing was collected.  Default [tid] is
+    3 — tracks 1 and 2 belong to {!Elk_sim.Trace}. *)
 
 val clear : unit -> unit
+(** Drop all completed spans and reset the {e calling} domain's nesting
+    depth (other domains restore theirs as their open spans exit). *)

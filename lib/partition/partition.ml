@@ -33,6 +33,7 @@ type ctx = {
   chip : Arch.chip;
   cost : Elk_cost.Costmodel.t;
   max_plans : int;
+  lock : Mutex.t;  (* guards [memo] and [popt_memo]; see [memo_find]. *)
   memo : (string, memo_entry) Hashtbl.t;
   popt_memo : (string, preload_opt list) Hashtbl.t;
 }
@@ -42,9 +43,37 @@ let make_ctx ?(max_plans_per_op = 512) cost =
     chip = Elk_cost.Costmodel.chip cost;
     cost;
     max_plans = max_plans_per_op;
+    lock = Mutex.create ();
     memo = Hashtbl.create 64;
     popt_memo = Hashtbl.create 256;
   }
+
+(* Memo tables are shared across the scheduler domains of the parallel
+   order search, so every access is serialized under [ctx.lock].  The
+   compute itself runs {e outside} the lock: it is a pure function of the
+   key, and [lookup]/[preload_options] are mutually recursive, so holding
+   the (non-reentrant) mutex across it would self-deadlock.  If two
+   domains miss the same key concurrently both compute it; the first
+   insert wins and the duplicate — structurally identical — is dropped. *)
+let memo_find ctx tbl key compute =
+  Mutex.lock ctx.lock;
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      Mutex.unlock ctx.lock;
+      v
+  | None ->
+      Mutex.unlock ctx.lock;
+      let v = compute () in
+      Mutex.lock ctx.lock;
+      let v =
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add tbl key v;
+            v
+      in
+      Mutex.unlock ctx.lock;
+      v
 
 let ctx_chip ctx = ctx.chip
 let ctx_cost ctx = ctx.cost
@@ -349,9 +378,7 @@ let compute_preload_options ctx (op : Opspec.t) plan =
 
 let rec lookup ctx op =
   let key = plan_signature op in
-  match Hashtbl.find_opt ctx.memo key with
-  | Some e -> e
-  | None ->
+  memo_find ctx ctx.memo key (fun () ->
       let plans = compute_plans ctx op in
       let frontier =
         Pareto.frontier
@@ -367,21 +394,14 @@ let rec lookup ctx op =
                { Pareto.x = p.exec_space; y = p.exec_time +. overhead; payload = p })
              plans)
       in
-      let e = { plans; frontier } in
-      Hashtbl.add ctx.memo key e;
-      e
+      { plans; frontier })
 
 and preload_options ctx op plan =
   let key =
     plan_signature op ^ "#"
     ^ String.concat "," (Array.to_list plan.factors |> List.map string_of_int)
   in
-  match Hashtbl.find_opt ctx.popt_memo key with
-  | Some opts -> opts
-  | None ->
-      let opts = compute_preload_options ctx op plan in
-      Hashtbl.add ctx.popt_memo key opts;
-      opts
+  memo_find ctx ctx.popt_memo key (fun () -> compute_preload_options ctx op plan)
 
 let enumerate ctx op = (lookup ctx op).plans
 let exec_frontier ctx op = (lookup ctx op).frontier

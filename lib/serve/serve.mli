@@ -34,6 +34,7 @@ val serve :
   ?recompile_every:int ->
   ?prefill:bool ->
   ?elk_options:Elk.Compile.options ->
+  ?jobs:int ->
   Elk_dse.Dse.env ->
   Elk_model.Zoo.config ->
   batch:int ->
@@ -46,8 +47,11 @@ val serve :
     64), so shapes are always sufficient and plans are reused across
     steps.  With [prefill] (default false) the prompt is first processed
     through a prefill-phase plan, giving a time-to-first-token.  [design]
-    defaults to [Elk_full].  Raises [Invalid_argument] for nonpositive
-    [tokens]/[batch]/[prompt_ctx]. *)
+    defaults to [Elk_full].  [jobs] resizes the shared compilation pool
+    ({!Elk_util.Pool.set_jobs}) before the loop, so every recompile in
+    the generation runs its order search on that many domains; plans are
+    identical whatever the value.  Raises [Invalid_argument] for
+    nonpositive [tokens]/[batch]/[prompt_ctx]. *)
 
 val time_to_first_token : run -> float
 (** [prefill_latency] plus the first decode step's latency. *)

@@ -1,0 +1,34 @@
+Parallel compilation must be a pure speed knob: the plan picked with a
+worker pool is byte-identical to the sequential one.  The final summary
+line carries wall-clock compile time, so drop it.
+
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 --jobs 1 \
+  >   --save-plan plan-j1.json | sed '/compile time/d'
+  model: dit-xl/8x10 on pod{4 x chip{64 cores, 98.30KB SRAM/core, all-to-all, link 5.50GB/s, HBM 173.91GB/s}, inter-chip 27.83GB/s}
+  latency: 116.133us (on-chip 84.337us + all-reduce 31.795us)
+  preload=209.5ns exec=79.260us overlap=4.868us interconnect=0.0ns
+  hbm util: 2.6%  noc util: 24.5%  tflops: 2.02
+  saved plan to plan-j1.json
+
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 --jobs 4 \
+  >   --save-plan plan-j4.json | sed '/compile time/d'
+  model: dit-xl/8x10 on pod{4 x chip{64 cores, 98.30KB SRAM/core, all-to-all, link 5.50GB/s, HBM 173.91GB/s}, inter-chip 27.83GB/s}
+  latency: 116.133us (on-chip 84.337us + all-reduce 31.795us)
+  preload=209.5ns exec=79.260us overlap=4.868us interconnect=0.0ns
+  hbm util: 2.6%  noc util: 24.5%  tflops: 2.02
+  saved plan to plan-j4.json
+
+  $ cmp plan-j1.json plan-j4.json && echo identical
+  identical
+
+The pruned search still emits plans the static verifier accepts.
+
+  $ ../../bin/elk_cli.exe verify -m dit-xl --scale 8 -b 2 --plan plan-j4.json
+  dit-xl/8x10@4chips: 0 error(s), 0 warning(s), 0 info(s) — 15 rules over 29 ops
+
+The ELK_JOBS environment variable sizes the pool the same way.
+
+  $ ELK_JOBS=3 ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 \
+  >   --save-plan plan-env.json > /dev/null && cmp plan-env.json plan-j1.json \
+  >   && echo identical
+  identical

@@ -18,6 +18,7 @@ Wall-clock durations vary run to run, so keep only the first column
   -
   elk_compile_orders_tried_total
   elk_scheduler_runs_total
+  elk_compile_orders_pruned_total
   
 
 

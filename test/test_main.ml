@@ -4,6 +4,7 @@ let () =
   Alcotest.run "elk"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("tensor", Test_tensor.suite);
       ("model", Test_model.suite);
@@ -25,6 +26,7 @@ let () =
       ("fusion", Test_fusion.suite);
       ("verify", Test_verify.suite);
       ("dse", Test_dse.suite);
+      ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]
