@@ -998,6 +998,105 @@ let compile_bench () =
   Printf.printf "wrote BENCH_compile.json\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Critical-path snapshot (BENCH_critpath.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Extract the causal critical path of the headline run and snapshot it
+   in the [elk critpath --json-out] shape (plus an [overhead] record),
+   so CI can [elk trace diff] a fresh snapshot against the committed
+   copy.  Segments pre-aggregate by (name, kind, resource) — the same
+   key Tracediff folds on — and values round to 4 significant digits,
+   like BENCH_attrib.json.  The overhead record re-checks the zero-cost
+   contract: recording the event DAG must not perturb the timeline, and
+   its wall-clock cost over the plain run is recorded so a regression in
+   the recording path shows up here. *)
+let critpath_bench () =
+  let env = Lazy.force default_env in
+  let g = decode llama13b ~batch:32 in
+  match B.plan ~elk_options:bench_elk_options env.D.ctx ~pod:env.D.pod g B.Elk_full with
+  | None -> ()
+  | Some s ->
+      let module Cp = Elk_sim.Critpath in
+      let time reps f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int reps
+      in
+      let reps = 5 in
+      ignore (Elk_sim.Sim.run ~events:false env.D.ctx s);
+      let t_off = time reps (fun () -> Elk_sim.Sim.run ~events:false env.D.ctx s) in
+      let t_on = time reps (fun () -> Elk_sim.Sim.run ~events:true env.D.ctx s) in
+      let r = Elk_sim.Sim.run ~events:true env.D.ctx s in
+      let r_off = Elk_sim.Sim.run ~events:false env.D.ctx s in
+      if r.Elk_sim.Sim.total <> r_off.Elk_sim.Sim.total then
+        Printf.printf "RECORDING PERTURBED THE TIMELINE: %.9g vs %.9g\n"
+          r.Elk_sim.Sim.total r_off.Elk_sim.Sim.total;
+      (match r.Elk_sim.Sim.events with
+      | None -> ()
+      | Some ev ->
+          (match Cp.check ev ~total:r.Elk_sim.Sim.total with
+          | Ok () -> ()
+          | Error m -> Printf.printf "CRITPATH LEAK: %s\n" m);
+          let sum = Cp.extract ev in
+          Cp.print ~top:5 ~top_segments:8 s.Elk.Schedule.graph sum;
+          let num v = Printf.sprintf "%.4g" v in
+          let tbl = Hashtbl.create 64 and order = ref [] in
+          List.iter
+            (fun seg ->
+              let name =
+                if seg.Cp.s_op < 0 then "-"
+                else
+                  (Graph.get s.Elk.Schedule.graph seg.Cp.s_op).Graph.op
+                    .Elk_tensor.Opspec.name
+              in
+              let key =
+                (name, Cp.kind_name seg.Cp.s_kind, Cp.resource_name seg.Cp.s_res)
+              in
+              match Hashtbl.find_opt tbl key with
+              | Some cur -> Hashtbl.replace tbl key (cur +. seg.Cp.s_dur)
+              | None ->
+                  Hashtbl.add tbl key seg.Cp.s_dur;
+                  order := key :: !order)
+            sum.Cp.segments;
+          let seg_rows =
+            List.rev_map
+              (fun ((name, kind, res) as key) ->
+                Printf.sprintf "{\"name\":%S,\"kind\":%S,\"resource\":%S,\"dur\":%s}"
+                  name kind res
+                  (num (Hashtbl.find tbl key)))
+              !order
+          in
+          let res_obj =
+            "{"
+            ^ String.concat ","
+                (List.map
+                   (fun (res, v) ->
+                     Printf.sprintf "\"%s\":%s" (Cp.resource_name res) (num v))
+                   sum.Cp.resource_seconds)
+            ^ "}"
+          in
+          let json =
+            Printf.sprintf
+              "{\"model\":%S,\"design\":%S,\"total\":%s,\"dominant\":%S,\n\
+               \"resource_seconds\":%s,\n\
+               \"overhead\":{\"sim_disabled_s\":%s,\"sim_enabled_s\":%s,\
+               \"ratio\":%s,\"events\":%d},\n\"segments\":[\n%s\n]}\n"
+              (Graph.name g) (B.name B.Elk_full) (num sum.Cp.total)
+              (Cp.resource_name (Cp.dominant sum))
+              res_obj (num t_off) (num t_on)
+              (num (t_on /. Float.max 1e-12 t_off))
+              (Array.length ev)
+              (String.concat ",\n" seg_rows)
+          in
+          let oc = open_out "BENCH_critpath.json" in
+          output_string oc json;
+          close_out oc;
+          Printf.printf "wrote BENCH_critpath.json (recording overhead %.2fx)\n\n"
+            (t_on /. Float.max 1e-12 t_off))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1112,6 +1211,7 @@ let experiments =
     ("energy", energy);
     ("attrib", attrib);
     ("compile", compile_bench);
+    ("critpath", critpath_bench);
     ("micro", micro);
   ]
 

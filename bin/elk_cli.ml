@@ -340,6 +340,154 @@ let analyze_cmd =
       $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ json_out_t $ metrics_out_t
       $ trace_out_t)
 
+let critpath_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design top
+      top_segments json_out metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    match B.plan env.D.ctx ~pod:env.D.pod g design with
+    | None ->
+        Format.eprintf "elk_cli: the Ideal roofline has no schedule to trace@.";
+        exit 1
+    | Some s -> (
+        let r = Elk_sim.Sim.run ~events:true env.D.ctx s in
+        match r.Elk_sim.Sim.events with
+        | None ->
+            Format.eprintf "elk_cli: simulator recorded no events@.";
+            exit 1
+        | Some events ->
+            (match Elk_sim.Critpath.check events ~total:r.Elk_sim.Sim.total with
+            | Ok () -> ()
+            | Error m -> Format.eprintf "elk_cli: causal-DAG violation: %s@." m);
+            let sum = Elk_sim.Critpath.extract events in
+            let graph = s.Elk.Schedule.graph in
+            (match
+               Elk_analyze.Analyze.headroom_check
+                 (Elk_analyze.Analyze.analyze graph r)
+                 sum
+             with
+            | Ok () -> ()
+            | Error m ->
+                Format.eprintf "elk_cli: critpath/attribution cross-check: %s@." m);
+            Elk_sim.Critpath.print ~top ~top_segments graph sum;
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                failing_write ~what:"critical path" (fun () ->
+                    let oc = open_out path in
+                    output_string oc (Elk_sim.Critpath.to_json graph sum);
+                    close_out oc);
+                Format.printf "wrote critical path to %s@." path);
+            write_trace ~sim:(graph, r)
+              ~extra:(Elk_sim.Trace.flow_events sum)
+              trace_out;
+            write_metrics metrics_out)
+  in
+  let top_t =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Operators in the blame report.")
+  in
+  let top_segments_t =
+    Arg.(value & opt int 12
+         & info [ "top-segments" ] ~doc:"Critical segments to show in detail.")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ]
+             ~doc:
+               "Write the critical-path snapshot as JSON to $(docv) — the \
+                format $(b,elk trace diff) consumes.")
+  in
+  Cmd.v
+    (Cmd.info "critpath"
+       ~doc:
+         "Simulate a design with causal event tracing and print the critical \
+          path: classified segments, per-operator slack, and a top-k blame \
+          report.  With --trace-out, the causal chain is drawn as Perfetto \
+          flow arrows over the device timeline.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ top_segments_t $ json_out_t
+      $ metrics_out_t $ trace_out_t)
+
+let trace_cmd =
+  let diff_cmd =
+    let run old_path new_path threshold top json_out =
+      let read what path =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg ->
+          Format.eprintf "elk_cli: cannot read %s snapshot: %s@." what msg;
+          exit 2
+      in
+      let old_json = read "old" old_path and new_json = read "new" new_path in
+      match Elk_analyze.Tracediff.diff ~old_json ~new_json with
+      | Error m ->
+          Format.eprintf "elk_cli: %s@." m;
+          exit 2
+      | Ok d ->
+          Elk_analyze.Tracediff.print ~top d;
+          (match json_out with
+          | None -> ()
+          | Some path ->
+              failing_write ~what:"trace diff" (fun () ->
+                  let oc = open_out path in
+                  output_string oc (Elk_analyze.Tracediff.to_json ~threshold d);
+                  close_out oc);
+              Format.printf "wrote diff to %s@." path);
+          if Elk_analyze.Tracediff.regressed ~threshold d then begin
+            List.iter
+              (fun e ->
+                Format.printf "REGRESSED %s: %+.3g us@." e.Elk_analyze.Tracediff.key
+                  (1e6 *. Elk_analyze.Tracediff.delta e))
+              (Elk_analyze.Tracediff.regressed_entries ~threshold d);
+            if d.Elk_analyze.Tracediff.total_new -. d.Elk_analyze.Tracediff.total_old
+               > threshold *. Float.abs d.Elk_analyze.Tracediff.total_old
+            then Format.printf "REGRESSED makespan: %+.3g us@."
+                (1e6
+                *. (d.Elk_analyze.Tracediff.total_new
+                   -. d.Elk_analyze.Tracediff.total_old));
+            exit 1
+          end
+    in
+    let old_t =
+      Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"OLD" ~doc:"Baseline critpath JSON snapshot.")
+    in
+    let new_t =
+      Arg.(required & pos 1 (some file) None
+           & info [] ~docv:"NEW" ~doc:"Fresh critpath JSON snapshot.")
+    in
+    let threshold_t =
+      Arg.(value & opt float 0.02
+           & info [ "threshold" ]
+               ~doc:
+                 "Regression gate: exit 1 when the makespan or any \
+                  resource/segment grows by more than this fraction of the \
+                  old makespan.")
+    in
+    let top_t =
+      Arg.(value & opt int 12 & info [ "top" ] ~doc:"Segment deltas to print.")
+    in
+    let json_out_t =
+      Arg.(value & opt (some string) None
+           & info [ "json-out" ] ~doc:"Write the diff (with verdict) as JSON to $(docv).")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two critpath snapshots: makespan, per-resource, and \
+            per-segment deltas.  Exit 0 when within threshold, 1 on \
+            regression, 2 on unreadable input.")
+      Term.(const run $ old_t $ new_t $ threshold_t $ top_t $ json_out_t)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Operate on recorded trace/critpath snapshots.")
+    [ diff_cmd ]
+
 let profile_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology jobs per_core
       metrics_out trace_out =
@@ -426,8 +574,8 @@ let verify_cmd =
     Elk_util.Table.print t
   in
   let run cfg scale layer_factor batch ctx prefill chips cores topology jobs design
-      plan_file strict rules json_out metrics_out =
-    obs_setup ~metrics_out ~trace_out:None;
+      plan_file strict rules json_out metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
     set_jobs jobs;
     if rules = Some "help" then print_rules ()
     else begin
@@ -478,6 +626,7 @@ let verify_cmd =
               output_string oc (V.report_to_json r);
               close_out oc);
           Format.printf "wrote report to %s@." path);
+      write_trace trace_out;
       write_metrics metrics_out;
       if V.errors r > 0 then exit 1;
       if strict && V.warnings r > 0 then exit 3
@@ -510,7 +659,7 @@ let verify_cmd =
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
       $ chips_t $ cores_t $ topo_t $ jobs_t $ design_t $ plan_t $ strict_t $ rules_t
-      $ json_out_t $ metrics_out_t)
+      $ json_out_t $ metrics_out_t $ trace_out_t)
 
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
@@ -519,5 +668,5 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            profile_cmd; verify_cmd;
+            critpath_cmd; trace_cmd; profile_cmd; verify_cmd;
           ]))

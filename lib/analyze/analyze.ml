@@ -108,6 +108,70 @@ let analyze ?(top = 8) graph (r : Elk_sim.Sim.result) =
     noc_mean = Elk_util.Series.mean_rate perf.Pc.noc_series;
   }
 
+(* ---- slack-aware what-if cross-check ------------------------------- *)
+
+module Cp = Elk_sim.Critpath
+
+let critpath_res = function
+  | Hbm -> Cp.Hbm
+  | Interconnect -> Cp.Interconnect
+  | Compute -> Cp.Compute
+  | Port -> Cp.Port
+
+let chain_seconds (s : Cp.summary) res =
+  try List.assoc (critpath_res res) s.Cp.resource_seconds with Not_found -> 0.
+
+let slack_headroom rep (s : Cp.summary) =
+  List.map
+    (fun (res, h) ->
+      let saving = Float.min rep.total (Float.max 0. (chain_seconds s res)) in
+      (res, h, Float.max 0. (rep.total -. saving)))
+    rep.headroom
+
+let headroom_check rep (s : Cp.summary) =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let tol = 1e-6 *. Float.max 1e-12 rep.total in
+  let rel_err a b =
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    if scale <= 0. then 0. else Float.abs (a -. b) /. scale
+  in
+  if rel_err rep.total s.Cp.total > 1e-6 then
+    err "attribution total %.9g and critical-path total %.9g differ" rep.total
+      s.Cp.total
+  else begin
+    let attributed res = List.assoc res rep.resource_totals in
+    (* Chain compute/port time is a subset of what attribution books for
+       those resources (every critical compute segment is some operator's
+       compute_len, which attribution also counts), so the attribution
+       what-if can never sit above the slack-aware estimate there.  A
+       violation means one layer's classification drifted from the shared
+       Perfcore convention. *)
+    let subset_violation =
+      List.find_opt
+        (fun res -> chain_seconds s res > attributed res +. tol)
+        [ Compute; Port ]
+    in
+    match subset_violation with
+    | Some res ->
+        err "chain %s %.9g exceeds attributed %s %.9g" (resource_name res)
+          (chain_seconds s res) (resource_name res) (attributed res)
+    | None -> (
+        let bad =
+          List.find_opt
+            (fun (_, attrib_h, slack_h) ->
+              (not (Float.is_finite attrib_h))
+              || (not (Float.is_finite slack_h))
+              || attrib_h < 0. || slack_h < 0.
+              || slack_h > rep.total +. tol)
+            (slack_headroom rep s)
+        in
+        match bad with
+        | Some (res, attrib_h, slack_h) ->
+            err "%s headroom out of range (attribution %.9g, slack-aware %.9g)"
+              (resource_name res) attrib_h slack_h
+        | None -> Ok ())
+  end
+
 let us x = Printf.sprintf "%.1f" (x *. 1e6)
 let pct_of x total = Printf.sprintf "%.1f%%" (100. *. x /. Float.max 1e-12 total)
 let gbps x = Printf.sprintf "%.2f" (x /. 1e9)

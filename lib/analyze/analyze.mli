@@ -59,7 +59,27 @@ type report = {
 }
 
 val analyze : ?top:int -> Elk_model.Graph.t -> Elk_sim.Sim.result -> report
-(** Build a report; [top] (default 8) bounds [top_cores]. *)
+(** Build a report; [top] (default 8) bounds [top_cores].  Every field is
+    finite even on degenerate inputs (single-operator models, zero-length
+    buckets): divisions are guarded, so no [nan] reaches {!to_json}. *)
+
+val slack_headroom :
+  report -> Elk_sim.Critpath.summary -> (resource * float * float) list
+(** [(res, attribution headroom, slack-aware headroom)] per resource.
+    The attribution estimate deletes all of [res]'s attributed seconds;
+    the slack-aware estimate deletes only the seconds the causal
+    critical path spends on [res] — zero-slack time, the only time whose
+    removal is guaranteed to move the makespan.  For compute and port
+    the chain seconds are a subset of the attributed seconds, so the
+    slack-aware estimate is the more conservative of the two. *)
+
+val headroom_check :
+  report -> Elk_sim.Critpath.summary -> (unit, string) result
+(** Cross-check the what-if headroom against the causal critical path of
+    the same run: totals agree to 1e-6, chain compute/port seconds never
+    exceed their attributed totals (both layers share the Perfcore
+    classification convention), and every headroom estimate is finite
+    and within [0, total]. *)
 
 val tables : ?top_ops:int -> report -> Elk_util.Table.t list
 (** Render as text tables: bottleneck summary (per-resource time, share,

@@ -19,6 +19,18 @@ let counter_event ?(pid = 1) ~name ~ts ~value () =
     "{\"name\":%s,\"cat\":\"elk\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.3f,\"args\":{\"value\":%s}}"
     (Jsonx.quote name) pid (us ts) (Jsonx.number value)
 
+let flow_start ?(pid = 1) ~tid ~name ?(cat = "elk") ~id ~ts () =
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":%s,\"ph\":\"s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"id\":%d}"
+    (Jsonx.quote name) (Jsonx.quote cat) pid tid (us ts) id
+
+let flow_end ?(pid = 1) ~tid ~name ?(cat = "elk") ~id ~ts () =
+  (* bp:"e" binds the arrow head to the enclosing slice even when [ts]
+     falls on the slice boundary — required for back-to-back events. *)
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":%s,\"ph\":\"f\",\"bp\":\"e\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"id\":%d}"
+    (Jsonx.quote name) (Jsonx.quote cat) pid tid (us ts) id
+
 let thread_name ~pid ~tid name =
   Printf.sprintf
     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"

@@ -25,6 +25,18 @@ val counter_event : ?pid:int -> name:string -> ts:float -> value:float -> unit -
     under the same [name] as a stepped counter track.  [ts] is in
     seconds; non-finite values render as [null]. *)
 
+val flow_start :
+  ?pid:int -> tid:int -> name:string -> ?cat:string -> id:int -> ts:float -> unit -> string
+(** A flow ("ph":"s") origin.  Perfetto draws an arrow from the slice
+    enclosing [(pid, tid, ts)] to the matching {!flow_end} with the same
+    [id] — [Elk_sim.Trace.flow_events] uses one arrow per causal edge of
+    the critical path.  [ts] is in seconds. *)
+
+val flow_end :
+  ?pid:int -> tid:int -> name:string -> ?cat:string -> id:int -> ts:float -> unit -> string
+(** The matching flow terminator ("ph":"f" with "bp":"e": bind to the
+    enclosing slice, accepting boundary timestamps). *)
+
 val thread_name : pid:int -> tid:int -> string -> string
 (** A thread_name metadata event labelling a track. *)
 

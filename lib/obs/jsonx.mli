@@ -19,3 +19,34 @@ val number : float -> string
 (** Render a float as a JSON number: integral values without a fraction,
     others with round-trip precision.  Non-finite values (which JSON
     cannot represent) render as [null]. *)
+
+(** {1 Parsing}
+
+    A minimal JSON document model and recursive-descent parser, enough
+    for the snapshot formats this repo emits itself ([elk critpath
+    --json-out], metrics JSON, [BENCH_*.json]) to be read back —
+    [elk trace diff] is the main consumer.  Numbers are floats;
+    duplicate object keys keep the first occurrence on lookup. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parse one complete JSON document; the error carries a byte offset.
+    [null] in a numeric position reads back as [nan] via {!to_float},
+    matching how {!number} renders non-finite floats. *)
+
+val member : string -> value -> value option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_float : value -> float option
+(** [Num f] as [Some f]; [Null] as [Some nan] (see {!number}). *)
+
+val to_str : value -> string option
+val to_list : value -> value list
+(** Array elements; [[]] on non-arrays. *)

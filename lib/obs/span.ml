@@ -77,10 +77,26 @@ let chrome_events ?(pid = 1) ?(tid = 3) () =
   | [] -> []
   | ss ->
       let base = List.fold_left (fun a s -> Float.min a s.start) Float.infinity ss in
-      (* One trace thread per domain that recorded spans, numbered from
-         [tid] in domain-id order so the main domain (lowest id) keeps
-         the historical track and workers land on stable later tracks. *)
-      let doms = List.sort_uniq compare (List.map (fun s -> s.domain) ss) in
+      (* One trace thread per domain that recorded spans.  Tracks are
+         numbered from [tid] by each domain's earliest recorded span
+         (start, then global seq) — a content-derived key — rather than
+         by raw [Domain.self] id, which depends on how many pool domains
+         were spawned before the trace (jobs count, earlier searches).
+         The main domain opens the root span first, so it keeps the
+         historical "compiler" track. *)
+      let earliest = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let k = (s.start, s.seq) in
+          match Hashtbl.find_opt earliest s.domain with
+          | Some k' when k' <= k -> ()
+          | _ -> Hashtbl.replace earliest s.domain k)
+        ss;
+      let doms =
+        Hashtbl.fold (fun d k acc -> (k, d) :: acc) earliest []
+        |> List.sort compare
+        |> List.map snd
+      in
       let tid_of d =
         let rec index i = function
           | [] -> 0

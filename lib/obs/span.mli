@@ -43,10 +43,12 @@ val chrome_events : ?pid:int -> ?tid:int -> unit -> string list
 (** Rendered Chrome-trace events for every completed span, preceded by
     one thread_name metadata event per recording domain; timestamps are
     rebased so the earliest span starts at 0.  Domains map to
-    consecutive tracks from [tid] in domain-id order — the main domain
-    keeps the historical "compiler" track, pool workers appear as
-    "compiler-wN".  Empty if nothing was collected.  Default [tid] is
-    3 — tracks 1 and 2 belong to {!Elk_sim.Trace}. *)
+    consecutive tracks from [tid] ordered by each domain's earliest
+    span (a content-derived key, independent of domain spawn order and
+    jobs count) — the main domain keeps the historical "compiler"
+    track, pool workers appear as "compiler-wN".  Empty if nothing was
+    collected.  Default [tid] is 3 — tracks 1 and 2 belong to
+    {!Elk_sim.Trace}. *)
 
 val clear : unit -> unit
 (** Drop all completed spans and reset the {e calling} domain's nesting

@@ -28,6 +28,7 @@ type result = {
   per_op : op_trace array;
   hbm_requests : int;
   perf : Perfcore.t;
+  events : Critpath.event array option;
 }
 
 (* Per-link reservation state, split into two traffic classes sharing each
@@ -149,7 +150,42 @@ let core_skew ~skew core op_id =
   let h = Hashtbl.hash (core, op_id, "skew") land 0xFFFF in
   1. -. skew +. (2. *. skew *. (float_of_int h /. 65535.))
 
-let run_impl ~skew ctx (s : Elk.Schedule.t) =
+(* Causal event recording (Critpath).  Pure bookkeeping appended beside
+   the flow model: recording never reads back into any timing
+   computation, so timelines are identical whether it is on or off (the
+   cram suite checks this byte-for-byte).  Off by default; [ELK_SIM_EVENTS]
+   forces it on for a whole process. *)
+let default_events =
+  match Sys.getenv_opt "ELK_SIM_EVENTS" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
+type recorder = {
+  mutable log : Critpath.event list;  (* reverse emission order *)
+  mutable n_events : int;
+  mutable last_exec : int;  (* last execute-chain event id, -1 if none *)
+  mutable last_pre : int;  (* last preload-chain event id, -1 if none *)
+  pre_done : int array;  (* per-op id of the preload's final event *)
+}
+
+let emit rc ~op ~kind ~t_start ~t_end ~parent ~deps ~port_wait =
+  let id = rc.n_events in
+  rc.n_events <- id + 1;
+  rc.log <-
+    {
+      Critpath.id; op; kind; t_start; t_end;
+      parent = (if parent < 0 then None else Some parent);
+      deps = List.sort_uniq compare (List.filter (fun d -> d >= 0) deps);
+      port_wait;
+    }
+    :: rc.log;
+  id
+
+(* The causal parent of a gate [max a b]: the argument that bound it.
+   Ties go to [on_b] (callers pass the data-dependency side there). *)
+let binding ~a ~on_a ~b ~on_b = if on_b < 0 || (a > b && on_a >= 0) then on_a else on_b
+
+let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
   (match Elk.Schedule.validate s with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sim.run: invalid schedule: " ^ m));
@@ -186,6 +222,12 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
      model — recorded into the metrics registry only when enabled. *)
   let pending = ref 0 and max_pending = ref 0 in
   let hbm_busy = ref 0. and preload_wait = ref 0. in
+  let rc =
+    if record then
+      Some { log = []; n_events = 0; last_exec = -1; last_pre = -1;
+             pre_done = Array.make n (-1) }
+    else None
+  in
   let cores_of plan = plan.P.cores_used in
   Array.iter
     (fun instr ->
@@ -198,10 +240,30 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
           (* Rule (1): every execute issued earlier blocks this preload;
              rule (2): preloads are sequential. *)
           let gate = Float.max !exec_ready !preload_free in
+          (* Causal parent of the gate, resolved before any state below
+             mutates: ties go to the preload chain (rule 2 is the tighter
+             sequencing constraint at equal times). *)
+          let pre_parent =
+            match rc with
+            | Some rc ->
+                binding ~a:!exec_ready ~on_a:rc.last_exec ~b:!preload_free
+                  ~on_b:rc.last_pre
+            | None -> -1
+          in
           if popt.P.hbm_device_bytes <= 0. then begin
             pre_start.(op) <- gate;
             pre_end.(op) <- gate;
-            preload_free := gate
+            preload_free := gate;
+            Option.iter
+              (fun rc ->
+                let id =
+                  emit rc ~op ~kind:Critpath.Preload_issue ~t_start:gate ~t_end:gate
+                    ~parent:pre_parent ~deps:[ rc.last_exec; rc.last_pre ]
+                    ~port_wait:0.
+                in
+                rc.pre_done.(op) <- id;
+                rc.last_pre <- id)
+              rc
           end
           else begin
             let hbm_done =
@@ -276,7 +338,22 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
             if popt.P.noc_inject_bytes > 0. && !finish > gate then
               Elk_util.Series.add perf.Perfcore.noc_series ~t_start:gate
                 ~t_end:!finish ~volume:popt.P.noc_inject_bytes;
-            preload_free := !finish
+            preload_free := !finish;
+            Option.iter
+              (fun rc ->
+                let read =
+                  emit rc ~op ~kind:Critpath.Hbm_read ~t_start:gate ~t_end:hbm_done
+                    ~parent:pre_parent ~deps:[ rc.last_exec; rc.last_pre ]
+                    ~port_wait:0.
+                in
+                let deliver =
+                  emit rc ~op ~kind:Critpath.Preload_deliver ~t_start:hbm_done
+                    ~t_end:(Float.max hbm_done !finish) ~parent:read ~deps:[ read ]
+                    ~port_wait:d
+                in
+                rc.pre_done.(op) <- deliver;
+                rc.last_pre <- deliver)
+              rc
           end
       | Elk.Program.Execute op ->
           let e = s.Elk.Schedule.entries.(op) in
@@ -415,6 +492,28 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
           dist_end_arr.(op) <- !dist_end;
           compute_end_arr.(op) <- !compute_end;
           exe_end.(op) <- !ex_end;
+          Option.iter
+            (fun rc ->
+              (* Ties go to the preload side: at equal times the data
+                 dependency (§4.5 rule 3) is the enabling completion. *)
+              let parent =
+                binding ~a:prev_ready ~on_a:rc.last_exec ~b:pre_end.(op)
+                  ~on_b:rc.pre_done.(op)
+              in
+              let dist =
+                emit rc ~op ~kind:Critpath.Distribute ~t_start:start ~t_end:!dist_end
+                  ~parent ~deps:[ rc.last_exec; rc.pre_done.(op) ] ~port_wait:port_d
+              in
+              let comp =
+                emit rc ~op ~kind:Critpath.Tile_compute ~t_start:!dist_end
+                  ~t_end:!compute_end ~parent:dist ~deps:[ dist ] ~port_wait:0.
+              in
+              let ex =
+                emit rc ~op ~kind:Critpath.Exchange ~t_start:!compute_end
+                  ~t_end:!ex_end ~parent:comp ~deps:[ comp ] ~port_wait:port_e
+              in
+              rc.last_exec <- ex)
+            rc;
           exec_ready := !ex_end)
     program.Elk.Program.instrs;
   let total = exe_end.(n - 1) in
@@ -518,12 +617,13 @@ let run_impl ~skew ctx (s : Elk.Schedule.t) =
           });
     hbm_requests = stats.Elk_hbm.Hbm.requests;
     perf;
+    events = Option.map (fun rc -> Array.of_list (List.rev rc.log)) rc;
   }
 
-let run ?(skew = 0.02) ctx (s : Elk.Schedule.t) =
+let run ?(skew = 0.02) ?(events = default_events) ctx (s : Elk.Schedule.t) =
   Elk_obs.Span.with_span "sim-run"
     ~attrs:[ ("ops", string_of_int (Elk.Schedule.num_ops s)) ]
-    (fun () -> run_impl ~skew ctx s)
+    (fun () -> run_impl ~skew ~record:events ctx s)
 
 let compare_with_timeline ctx s =
   let sim = run ctx s in

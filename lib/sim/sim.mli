@@ -54,12 +54,24 @@ type result = {
           attribution, and HBM/NoC bandwidth-over-time series collected
           by the event loop.  [hbm_util]/[noc_util] are the time-averaged
           scalars derivable from the series. *)
+  events : Critpath.event array option;
+      (** causal event DAG, recorded only when {!run} is called with
+          [~events:true] (or [ELK_SIM_EVENTS=1]); [None] otherwise.
+          Feed to {!Critpath.extract} for the critical path. *)
 }
 
-val run : ?skew:float -> Elk_partition.Partition.ctx -> Elk.Schedule.t -> result
+val run :
+  ?skew:float ->
+  ?events:bool ->
+  Elk_partition.Partition.ctx ->
+  Elk.Schedule.t ->
+  result
 (** Simulate one chip executing a schedule.  [skew] (default 0.02) is the
-    relative deterministic per-core compute-time perturbation.  Raises
-    [Invalid_argument] if the schedule fails validation. *)
+    relative deterministic per-core compute-time perturbation.  [events]
+    (default: the [ELK_SIM_EVENTS] env var, off otherwise) turns on
+    causal event recording; it is pure bookkeeping — recorded times are
+    never read back, so the simulated timeline is identical either way.
+    Raises [Invalid_argument] if the schedule fails validation. *)
 
 val compare_with_timeline :
   Elk_partition.Partition.ctx -> Elk.Schedule.t -> float

@@ -13,6 +13,13 @@ val chrome_events : Elk_model.Graph.t -> Sim.result -> string list
     merging with other producers, e.g. {!Elk_obs.Span.chrome_events}, into
     one timeline via {!Elk_obs.Chrome.write}. *)
 
+val flow_events : Critpath.summary -> string list
+(** Perfetto flow ("s"/"f") event pairs — one arrow per causal edge of
+    the critical path, connecting the slice where the binding event ends
+    to the slice where the enabled event starts.  Merge with
+    {!chrome_events} (the arrows bind to those slices); edges between
+    two sub-events of the same preload slice are elided. *)
+
 val chrome_meta : string list
 (** thread_name metadata events labelling tracks 1 (HBM preload) and 2
     (on-chip execute). *)

@@ -1,0 +1,72 @@
+The critpath subcommand simulates with causal event tracing on and
+prints the critical path: classified segments, blame, and slack.
+All times are simulated, so the tables are fully deterministic.
+
+  $ ../../bin/elk_cli.exe critpath -m dit-xl --scale 8 -b 2 --top 4 --top-segments 4
+  == critical path: makespan 106.5 us over 54 segments (133 events recorded) ==
+  resource      critical us  share  
+  ----------------------------------
+  hbm           0.6          0.5%   
+  interconnect  30.6         28.7%  
+  compute       75.4         70.7%  
+  port          0.0          0.0%   
+  wait          0.0          0.0%   
+  
+  == top 4 critical segments by duration ==
+  op  name         kind     resource  start us  dur us  share  
+  -------------------------------------------------------------
+  10  l0.ffn_up    compute  compute   35.9      4.2     3.9%   
+  12  l0.ffn_down  compute  compute   46.6      4.2     3.9%   
+  25  l1.ffn_down  compute  compute   95.4      4.2     3.9%   
+  23  l1.ffn_up    compute  compute   84.8      4.2     3.9%   
+  
+  == top 4 operators by critical-path time (blame), with slack ==
+  op  name         critical us  share  slack us  hbm  interconnect  compute  port  
+  ---------------------------------------------------------------------------------
+  10  l0.ffn_up    7.3          6.8%   0.0       0.0  3.1           4.2      0.0   
+  23  l1.ffn_up    7.3          6.8%   0.0       0.0  3.1           4.2      0.0   
+  12  l0.ffn_down  6.3          5.9%   0.0       0.0  2.1           4.2      0.0   
+  25  l1.ffn_down  6.3          5.9%   0.0       0.0  2.1           4.2      0.0   
+  
+
+The JSON snapshot lands where asked and starts with the makespan.
+
+  $ ../../bin/elk_cli.exe critpath -m dit-xl --scale 8 -b 2 --json-out cp.json >/dev/null
+  $ cut -c1-9 cp.json
+  {"total":
+
+Recording the event DAG is pure bookkeeping: the simulated timeline it
+feeds from must be byte-identical with recording forced on.
+
+  $ ../../bin/elk_cli.exe analyze -m dit-xl --scale 8 -b 2 --json-out off.json >/dev/null
+  $ ELK_SIM_EVENTS=1 ../../bin/elk_cli.exe analyze -m dit-xl --scale 8 -b 2 --json-out on.json >/dev/null
+  $ cmp off.json on.json
+
+trace diff of a snapshot against itself is all zeros and exits 0.
+
+  $ ../../bin/elk_cli.exe trace diff cp.json cp.json >/dev/null
+
+A snapshot whose makespan and a segment grew past the threshold makes
+the diff exit 1 and name the regressed entries.
+
+  $ cat > old.json <<'EOF'
+  > {"total":100e-6,"dominant":"compute",
+  > "resource_seconds":{"compute":80e-6,"hbm":20e-6},
+  > "segments":[{"name":"a","kind":"compute","resource":"compute","dur":80e-6},
+  >             {"name":"b","kind":"hbm-read","resource":"hbm","dur":20e-6}]}
+  > EOF
+  $ cat > new.json <<'EOF'
+  > {"total":112e-6,"dominant":"compute",
+  > "resource_seconds":{"compute":92e-6,"hbm":20e-6},
+  > "segments":[{"name":"a","kind":"compute","resource":"compute","dur":92e-6},
+  >             {"name":"b","kind":"hbm-read","resource":"hbm","dur":20e-6}]}
+  > EOF
+  $ ../../bin/elk_cli.exe trace diff old.json new.json --threshold 0.05 >/dev/null
+  [1]
+
+An unparseable snapshot is a usage error (exit 2), not a regression.
+
+  $ echo 'not json' > garbage.json
+  $ ../../bin/elk_cli.exe trace diff old.json garbage.json
+  elk_cli: new snapshot: invalid JSON: expected 'null' at offset 0
+  [2]

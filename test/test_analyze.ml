@@ -80,10 +80,81 @@ let test_exports () =
       Alcotest.(check bool) "is a C event" true (contains "\"ph\":\"C\"" ev))
     counters
 
+(* Degenerate single-operator model: one tiny matmul leaves most buckets
+   at exactly zero, which is where an unguarded share/headroom division
+   turns into nan and leaks into the JSON as null. *)
+let test_degenerate_single_op () =
+  let b = Elk_model.Graph.builder ~name:"degenerate" in
+  let _ =
+    Elk_model.Graph.add b ~role:"lm_head"
+      (Elk_tensor.Opspec.matmul ~name:"only" ~m:4 ~n:64 ~k:64 ())
+  in
+  let g = Elk_model.Graph.finish b in
+  let ctx = Lazy.force Tu.default_ctx in
+  let s = Elk.Scheduler.run ctx g in
+  let r = Sim.run ~events:true ctx s in
+  let rep = A.analyze g r in
+  (* Jsonx.number renders non-finite floats as null, so a nan/inf that
+     escaped a guard shows up as a ":null" value in the document. *)
+  let no_bad what str =
+    let contains n h =
+      let nl = String.length n and hl = String.length h in
+      let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (what ^ " free of null") false (contains ":null" str);
+    Alcotest.(check bool) (what ^ " free of inf") false (contains "inf" str)
+  in
+  no_bad "analyze json" (A.to_json rep);
+  List.iter
+    (fun (res, h) ->
+      Alcotest.(check bool)
+        (A.resource_name res ^ " headroom finite")
+        true
+        (Float.is_finite h && h >= 0.))
+    rep.A.headroom;
+  Alcotest.(check bool) "imbalance finite" true (Float.is_finite rep.A.imbalance);
+  (* The slack-aware cross-check must hold on degenerate models too. *)
+  match r.Sim.events with
+  | None -> Alcotest.fail "no events"
+  | Some ev -> (
+      let sum = Elk_sim.Critpath.extract ev in
+      no_bad "critpath json" (Elk_sim.Critpath.to_json g sum);
+      match A.headroom_check rep sum with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+
+(* Slack-aware headroom: the causal chain bounds how much of each
+   resource's attributed time is actually load-bearing, so the
+   slack-aware estimate can never promise more latency reduction than
+   the chain spends on that resource. *)
+let test_slack_headroom () =
+  let r = Lazy.force (lazy (Sim.run ~events:true (Lazy.force Tu.default_ctx) (Lazy.force Tu.tiny_schedule))) in
+  let s = Lazy.force Tu.tiny_schedule in
+  let rep = A.analyze ~top:4 s.Elk.Schedule.graph r in
+  match r.Sim.events with
+  | None -> Alcotest.fail "no events"
+  | Some ev ->
+      let sum = Elk_sim.Critpath.extract ev in
+      (match A.headroom_check rep sum with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      List.iter
+        (fun (res, attrib_h, slack_h) ->
+          Alcotest.(check bool)
+            (A.resource_name res ^ " slack-aware headroom bounded")
+            true
+            (Float.is_finite slack_h && slack_h >= 0.
+            && slack_h <= rep.A.total +. 1e-12
+            && attrib_h >= 0.))
+        (A.slack_headroom rep sum)
+
 let suite =
   [
     ("classify: synthetic dominant buckets", `Quick, test_classify_synthetic);
     ("classify: ties and zeros", `Quick, test_classify_edge_cases);
     ("report invariants on a real run", `Quick, test_report_invariants);
     ("json/table/counter exports", `Quick, test_exports);
+    ("degenerate single-op model stays finite", `Quick, test_degenerate_single_op);
+    ("slack-aware headroom cross-check", `Quick, test_slack_headroom);
   ]

@@ -16,6 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("opsplit", Test_opsplit.suite);
       ("sim", Test_sim.suite);
+      ("critpath", Test_critpath.suite);
       ("analyze", Test_analyze.suite);
       ("baselines", Test_baselines.suite);
       ("gtext", Test_gtext.suite);

@@ -235,9 +235,62 @@ let test_compile_records_phases () =
       Alcotest.(check bool) "meta labels track" true
         (String.length meta > 0 && List.length evs = List.length (Obs.Span.spans ()))
 
+(* The Jsonx parser must read back everything the emitters write, and
+   reject what they never write. *)
+let test_jsonx_parser () =
+  let module J = Obs.Jsonx in
+  let ok s = match J.parse s with Ok v -> v | Error m -> Alcotest.fail m in
+  let bad s =
+    match J.parse s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error _ -> ()
+  in
+  (match ok "{\"a\":[1,2.5e-3,null],\"b\":{\"c\":true}}" with
+  | J.Obj _ as v ->
+      let nums =
+        match J.member "a" v with
+        | Some a -> List.map J.to_float (J.to_list a)
+        | None -> []
+      in
+      (match nums with
+      | [ Some x; Some y; Some z ] ->
+          Alcotest.(check (float 0.)) "int" 1. x;
+          Alcotest.(check (float 1e-12)) "exponent" 2.5e-3 y;
+          Alcotest.(check bool) "null reads as nan" true (Float.is_nan z)
+      | _ -> Alcotest.fail "array shape");
+      Alcotest.(check bool) "nested member" true
+        (Option.bind (J.member "b" v) (J.member "c") = Some (J.Bool true))
+  | _ -> Alcotest.fail "not an object");
+  (* escapes round-trip through the emitter's own quoting *)
+  let tricky = "a\"b\\c\nd\te\r \x01 é" in
+  (match ok ("[" ^ J.quote tricky ^ "]") with
+  | J.Arr [ s ] ->
+      Alcotest.(check (option string)) "quote round-trips" (Some tricky)
+        (J.to_str s)
+  | _ -> Alcotest.fail "quote round-trip shape");
+  (match ok "\"\\u00e9\\u0041\"" with
+  | J.Str s -> Alcotest.(check string) "unicode escapes" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "unicode shape");
+  (* a real exporter document parses *)
+  let r = Elk_sim.Sim.run ~events:true (Lazy.force Tu.default_ctx) (Lazy.force Tu.tiny_schedule) in
+  (match r.Elk_sim.Sim.events with
+  | None -> Alcotest.fail "no events"
+  | Some ev ->
+      let graph = (Lazy.force Tu.tiny_schedule).Elk.Schedule.graph in
+      let sum = Elk_sim.Critpath.extract ev in
+      (match J.parse (Elk_sim.Critpath.to_json graph sum) with
+      | Error m -> Alcotest.fail ("critpath json: " ^ m)
+      | Ok v ->
+          Alcotest.(check (option (float 1e-12))) "total member"
+            (Some sum.Elk_sim.Critpath.total)
+            (Option.bind (J.member "total" v) J.to_float)));
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
 let suite =
   [
     ("jsonx escaping", `Quick, with_obs test_escape);
+    ("jsonx parser", `Quick, with_obs test_jsonx_parser);
     ("counters and gauges", `Quick, with_obs test_counters_and_gauges);
     ("histogram percentiles", `Quick, with_obs test_histogram_percentiles);
     ("empty histogram guards", `Quick, with_obs test_empty_histogram_guards);
