@@ -772,7 +772,33 @@ let serve () =
           string_of_int r.Elk_serve.Serve.recompilations;
           Printf.sprintf "%.2f" r.Elk_serve.Serve.compile_time ])
     [ B.Basic; B.Static; B.Elk_dyn; B.Elk_full ];
-  Table.print t
+  Table.print t;
+  (* End-to-end workload: a seeded Poisson arrival stream through the
+     batching front-end, snapshotted as BENCH_serve.json.  The snapshot
+     is Tracediff-comparable (latency percentiles as segments), so CI
+     gates serving-SLO regressions with `elk trace diff`.  Every value
+     is simulated -> byte-stable across machines and jobs counts. *)
+  let seed = 7 in
+  let spec =
+    Option.get
+      (Elk_serve.Workload.preset "poisson" ~rate:500. ~prompt_mean:128
+         ~output_mean:16)
+  in
+  let reqs = Elk_serve.Workload.generate ~seed ~n:24 spec in
+  let result =
+    Elk_serve.Frontend.run ~elk_options:bench_elk_options ~max_batch:8 env
+      llama13b reqs
+  in
+  let report =
+    Elk_serve.Slo.of_result ~slo_ttft:0.05 ~slo_itl:0.005 ~workload:"poisson"
+      ~seed result
+  in
+  Elk_serve.Slo.print report;
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Elk_serve.Slo.to_json report);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* Simulator validation (paper 5: emulator-vs-simulator agreement)    *)

@@ -661,6 +661,133 @@ let verify_cmd =
       $ chips_t $ cores_t $ topo_t $ jobs_t $ design_t $ plan_t $ strict_t $ rules_t
       $ json_out_t $ metrics_out_t $ trace_out_t)
 
+let serve_cmd =
+  let module W = Elk_serve.Workload in
+  let module F = Elk_serve.Frontend in
+  let run cfg scale layer_factor chips cores topology jobs design workload rate
+      requests seed prompt output max_batch slo_ttft slo_itl window json_out
+      metrics_out trace_out =
+    set_jobs jobs;
+    obs_setup ~metrics_out ~trace_out;
+    let cfg =
+      if scale <= 1 then cfg
+      else Elk_model.Zoo.scale cfg ~factor:scale ~layer_factor
+    in
+    let env = make_env ~chips ~cores ~topology in
+    let outcome =
+      try
+        let spec =
+          match
+            W.preset workload ~rate ~prompt_mean:prompt ~output_mean:output
+          with
+          | Some s -> s
+          | None -> invalid_arg (Printf.sprintf "unknown workload %S" workload)
+        in
+        let reqs = W.generate ~seed ~n:requests spec in
+        let result = F.run ~design ?jobs ~max_batch env cfg reqs in
+        Ok
+          ( result,
+            Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~workload ~seed
+              result )
+      with Invalid_argument m -> Error m
+    in
+    match outcome with
+    | Error m ->
+        Format.eprintf "elk_cli serve: %s@." m;
+        exit 1
+    | Ok (result, report) ->
+        Elk_serve.Slo.print report;
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            failing_write ~what:"SLO report" (fun () ->
+                let oc = open_out path in
+                output_string oc (Elk_serve.Slo.to_json report);
+                output_string oc "\n";
+                close_out oc);
+            Format.printf "wrote SLO report to %s@." path);
+        let counters =
+          List.concat_map
+            (fun name ->
+              Elk_obs.Timeseries.chrome_counter_events report.Elk_serve.Slo.series
+                ~horizon:report.Elk_serve.Slo.makespan name)
+            (Elk_obs.Timeseries.names report.Elk_serve.Slo.series)
+        in
+        write_trace ~extra:(F.chrome_events result @ counters) trace_out;
+        write_metrics metrics_out
+  in
+  let workload_t =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Elk_serve.Workload.preset_names))
+          "poisson"
+      & info [ "workload" ]
+          ~doc:"Arrival process: $(b,poisson), $(b,bursty) or $(b,diurnal).")
+  in
+  let rate_t =
+    Arg.(value & opt float 4.0 & info [ "rate" ] ~doc:"Mean arrival rate, requests/second.")
+  in
+  let requests_t =
+    Arg.(value & opt int 16 & info [ "requests" ] ~doc:"Number of requests to generate.")
+  in
+  let seed_t =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Workload seed.  The same seed gives a byte-identical request list \
+             and SLO report, whatever the $(b,--jobs) count.")
+  in
+  let prompt_t =
+    Arg.(value & opt int 128 & info [ "prompt" ] ~doc:"Mean prompt length, tokens.")
+  in
+  let output_t =
+    Arg.(value & opt int 24 & info [ "output" ] ~doc:"Mean output length, tokens.")
+  in
+  let max_batch_t =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Largest batch the front-end forms.")
+  in
+  let slo_ttft_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-ttft" ] ~doc:"TTFT target in seconds; enables SLO attainment.")
+  in
+  let slo_itl_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-itl" ]
+          ~doc:"Mean inter-token-latency target in seconds; enables SLO attainment.")
+  in
+  let window_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "window" ]
+          ~doc:"Time-series window width in seconds (default: makespan/48).")
+  in
+  let json_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ]
+          ~doc:
+            "Write the SLO report (with time series) as JSON to $(docv).  The \
+             snapshot is $(b,elk trace diff)-comparable.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a synthetic request workload through the batching front-end \
+          and report serving SLOs: TTFT/ITL percentiles, throughput, goodput, \
+          queue depth over time.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ chips_t $ cores_t
+      $ topo_t $ jobs_t $ design_t $ workload_t $ rate_t $ requests_t $ seed_t
+      $ prompt_t $ output_t $ max_batch_t $ slo_ttft_t $ slo_itl_t $ window_t
+      $ json_out_t $ metrics_out_t $ trace_out_t)
+
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
   exit
@@ -668,5 +795,5 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            critpath_cmd; trace_cmd; profile_cmd; verify_cmd;
+            critpath_cmd; trace_cmd; profile_cmd; verify_cmd; serve_cmd;
           ]))

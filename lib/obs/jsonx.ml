@@ -196,7 +196,10 @@ let parse s =
   try
     let v = parse_value cur in
     skip_ws cur;
-    if cur.pos <> String.length s then Error "trailing garbage after document"
+    if cur.pos <> String.length s then
+      (* A second top-level value ("{} {}") must not silently parse as
+         the first: the whole input is one document or it is invalid. *)
+      Error (Printf.sprintf "trailing garbage after document at offset %d" cur.pos)
     else Ok v
   with Parse_error m -> Error m
 

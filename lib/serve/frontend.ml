@@ -1,0 +1,337 @@
+(* Serving front-end: admission queue + FCFS batch forming over the
+   Serve decode loop, on a simulated clock.
+
+   Requests (from Workload) arrive over time; the engine serves one
+   batch at a time.  Whenever the engine is free, the front-end admits
+   the oldest queued requests (up to [max_batch]) as one batch, pads
+   them to a common shape, and replays a Serve.serve generation for
+   that shape: prefill, then one decode step per token, each step's
+   simulated latency advancing the clock.  A request completes when its
+   own output length is reached; the batch holds the engine until its
+   longest member finishes (static batching — the padding waste is
+   exactly what the goodput metric reports, and what a future
+   continuous-batching scheduler would reclaim).
+
+   Plan sharing: batches are padded to bucketed shapes (batch size to
+   the next power of two, prompt length to the plan quantum, token
+   count to a multiple of 16), and Serve runs are memoized per bucket —
+   the (model, ctx-bucket, batch-bucket) plan cache a deployment would
+   keep, so compile work amortizes across the whole workload.
+
+   Everything here is simulated time; no wall-clock value enters any
+   trace or lifecycle field, so runs are byte-deterministic for a given
+   seed at any jobs count. *)
+
+module B = Elk_baselines.Baselines
+
+type req_trace = {
+  req : Workload.request;
+  batch_id : int;
+  admitted : float;  (* when its batch formed (= queue exit) *)
+  prefill_end : float;
+  first_token : float;  (* completion of its first decode token *)
+  finish : float;  (* completion of its last decode token *)
+  itls : float list;  (* inter-token latencies, length output_len - 1 *)
+}
+
+type batch_trace = {
+  b_id : int;
+  b_size : int;  (* admitted requests *)
+  b_bucket : int;  (* padded batch size the plan was built for *)
+  b_prompt_ctx : int;  (* padded prompt length *)
+  b_tokens : int;  (* decode steps actually timed (longest member) *)
+  b_formed : float;
+  b_prefill : float;  (* simulated prefill latency *)
+  b_end : float;
+  b_step_ends : float array;  (* completion time of decode step k *)
+  b_live : int array;  (* requests still generating at step k *)
+  b_fresh_plans : int;  (* decode plans compiled for this batch (0 on cache hit) *)
+}
+
+type result = {
+  requests : req_trace list;  (* in arrival order *)
+  batches : batch_trace list;  (* in formation order *)
+  makespan : float;  (* completion of the last batch *)
+  distinct_shapes : int;  (* plan-cache misses: Serve runs actually computed *)
+  recompilations : int;  (* decode plans compiled across all misses *)
+}
+
+let round_up v quantum = (v + quantum - 1) / quantum * quantum
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let token_quantum = 16
+
+let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
+    ?(max_batch = 8) env cfg requests =
+  if requests = [] then invalid_arg "Frontend.run: no requests";
+  if max_batch <= 0 then invalid_arg "Frontend.run: max_batch must be positive";
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Workload.arrival_s <= b.Workload.arrival_s && sorted rest
+    | _ -> true
+  in
+  if not (sorted requests) then
+    invalid_arg "Frontend.run: requests must be in arrival order";
+  Option.iter Elk_util.Pool.set_jobs jobs;
+  (* Serve runs memoized per padded shape: the deployment's plan cache. *)
+  let cache : (int * int * int, Serve.run) Hashtbl.t = Hashtbl.create 8 in
+  let misses = ref 0 and recompiles = ref 0 in
+  let serve_for ~bucket ~prompt_ctx ~tokens =
+    let key = (bucket, prompt_ctx, tokens) in
+    match Hashtbl.find_opt cache key with
+    | Some r -> (r, 0)
+    | None ->
+        let r =
+          Serve.serve ~design ~recompile_every ~prefill:true ?elk_options env cfg
+            ~batch:bucket ~prompt_ctx ~tokens
+        in
+        Hashtbl.add cache key r;
+        incr misses;
+        recompiles := !recompiles + r.Serve.recompilations;
+        (r, r.Serve.recompilations)
+  in
+  let rec take_batch acc k t = function
+    | r :: rest when k < max_batch && r.Workload.arrival_s <= t ->
+        take_batch (r :: acc) (k + 1) t rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec loop free b_id pending reqs_acc batches_acc =
+    match pending with
+    | [] -> (List.rev reqs_acc, List.rev batches_acc, free)
+    | head :: _ ->
+        let t_form = Float.max free head.Workload.arrival_s in
+        let admitted, rest = take_batch [] 0 t_form pending in
+        let size = List.length admitted in
+        let bucket = min (next_pow2 size) (next_pow2 max_batch) in
+        let prompt_max =
+          List.fold_left (fun a r -> max a r.Workload.prompt_len) 1 admitted
+        in
+        let prompt_ctx = round_up prompt_max recompile_every in
+        let needed =
+          List.fold_left (fun a r -> max a r.Workload.output_len) 1 admitted
+        in
+        let tokens = round_up needed token_quantum in
+        let sr, fresh = serve_for ~bucket ~prompt_ctx ~tokens in
+        let prefill_end = t_form +. sr.Serve.prefill_latency in
+        let lats = Array.of_list (List.map (fun s -> s.Serve.latency) sr.Serve.steps) in
+        let step_ends = Array.make needed prefill_end in
+        let t = ref prefill_end in
+        for k = 0 to needed - 1 do
+          t := !t +. lats.(k);
+          step_ends.(k) <- !t
+        done;
+        let live =
+          Array.init needed (fun k ->
+              List.length (List.filter (fun r -> r.Workload.output_len > k) admitted))
+        in
+        let b_end = step_ends.(needed - 1) in
+        let traces =
+          List.map
+            (fun (r : Workload.request) ->
+              let last = r.Workload.output_len - 1 in
+              {
+                req = r;
+                batch_id = b_id;
+                admitted = t_form;
+                prefill_end;
+                first_token = step_ends.(0);
+                finish = step_ends.(last);
+                itls = List.init last (fun k -> lats.(k + 1));
+              })
+            admitted
+        in
+        let batch =
+          {
+            b_id;
+            b_size = size;
+            b_bucket = bucket;
+            b_prompt_ctx = prompt_ctx;
+            b_tokens = needed;
+            b_formed = t_form;
+            b_prefill = sr.Serve.prefill_latency;
+            b_end;
+            b_step_ends = step_ends;
+            b_live = live;
+            b_fresh_plans = fresh;
+          }
+        in
+        Elk_obs.Logger.debug ~src:"frontend"
+          ~kvs:
+            [
+              ("batch", string_of_int b_id);
+              ("size", string_of_int size);
+              ("bucket", string_of_int bucket);
+              ("prompt_ctx", string_of_int prompt_ctx);
+              ("tokens", string_of_int needed);
+            ]
+          "batch formed";
+        loop b_end (b_id + 1) rest (List.rev_append traces reqs_acc)
+          (batch :: batches_acc)
+  in
+  let requests', batches, makespan = loop 0. 0 requests [] [] in
+  let requests' =
+    List.sort (fun a b -> compare a.req.Workload.req_id b.req.Workload.req_id) requests'
+  in
+  Elk_obs.Metrics.incr "elk_frontend_batches_total"
+    ~by:(float_of_int (List.length batches))
+    ~help:"Batches formed by the serving front-end";
+  Elk_obs.Metrics.set "elk_frontend_plan_cache_misses" (float_of_int !misses)
+    ~help:"Distinct padded shapes the serving front-end compiled plans for";
+  {
+    requests = requests';
+    batches;
+    makespan;
+    distinct_shapes = !misses;
+    recompilations = !recompiles;
+  }
+
+(* ---- per-request derived metrics ------------------------------------- *)
+
+let queue_wait t = t.admitted -. t.req.Workload.arrival_s
+let ttft t = t.first_token -. t.req.Workload.arrival_s
+
+(* ---- time-series recording ------------------------------------------- *)
+
+(* Replay the lifecycle into a Timeseries: queue depth and in-flight
+   gauges driven by arrival/admission/finish edges, goodput/padded token
+   counters per decode step, and rolling TTFT/ITL histograms.  Events
+   are generated in chronological order per series, so gauge integration
+   is exact. *)
+let timeseries ?window r =
+  let window =
+    match window with
+    | Some w -> w
+    | None -> Float.max 1e-9 (r.makespan /. 48.)
+  in
+  let ts = Elk_obs.Timeseries.create ~window () in
+  (* queue depth: +1 on arrival, -size when a batch forms *)
+  let edges =
+    List.map (fun t -> (t.req.Workload.arrival_s, 0, 1)) r.requests
+    @ List.map (fun b -> (b.b_formed, 1, -b.b_size)) r.batches
+  in
+  let edges =
+    List.stable_sort (fun (ta, pa, _) (tb, pb, _) -> compare (ta, pa) (tb, pb)) edges
+  in
+  let depth = ref 0 in
+  Elk_obs.Timeseries.set ts "queue_depth" ~time:0. 0.
+    ~help:"Requests admitted yet";
+  List.iter
+    (fun (t, _, d) ->
+      depth := !depth + d;
+      Elk_obs.Timeseries.set ts "queue_depth" ~time:t (float_of_int !depth))
+    edges;
+  (* in-flight requests: +size at admission, -1 as each member finishes *)
+  let flight =
+    List.map (fun b -> (b.b_formed, 0, b.b_size)) r.batches
+    @ List.map (fun t -> (t.finish, 1, -1)) r.requests
+  in
+  let flight =
+    List.stable_sort (fun (ta, pa, _) (tb, pb, _) -> compare (ta, pa) (tb, pb)) flight
+  in
+  let inflight = ref 0 in
+  Elk_obs.Timeseries.set ts "inflight_requests" ~time:0. 0.
+    ~help:"Admitted requests still generating";
+  List.iter
+    (fun (t, _, d) ->
+      inflight := !inflight + d;
+      Elk_obs.Timeseries.set ts "inflight_requests" ~time:t (float_of_int !inflight))
+    flight;
+  (* tokens: per decode step, [live] slots produce useful tokens and the
+     rest of the padded batch burns compute *)
+  List.iter
+    (fun b ->
+      Array.iteri
+        (fun k t_end ->
+          let live = b.b_live.(k) in
+          Elk_obs.Timeseries.add ts "tokens_completed" ~time:t_end
+            (float_of_int live)
+            ~help:"Useful (non-padding) tokens completed";
+          if b.b_bucket > live then
+            Elk_obs.Timeseries.add ts "tokens_padded" ~time:t_end
+              (float_of_int (b.b_bucket - live))
+              ~help:"Padded batch slots computed but discarded")
+        b.b_step_ends)
+    r.batches;
+  (* rolling latency distributions *)
+  List.iter
+    (fun t ->
+      Elk_obs.Timeseries.observe ts "ttft" ~time:t.first_token (ttft t)
+        ~help:"Time to first token (arrival to first decode completion)";
+      Elk_obs.Timeseries.observe ts "queue_wait" ~time:t.admitted (queue_wait t)
+        ~help:"Time from arrival to batch admission";
+      List.iter
+        (fun itl ->
+          Elk_obs.Timeseries.observe ts "itl" ~time:t.finish itl
+            ~help:"Inter-token latency samples")
+        t.itls)
+    r.requests;
+  ts
+
+(* ---- Chrome/Perfetto lifecycle export -------------------------------- *)
+
+let serving_pid = 7
+
+(* Track layout under one "serving" process: tid 1 is the batch lane,
+   every request gets its own lane above it.  Queued/prefill/decode
+   phases are complete events; a flow arrow links each request's queued
+   slice to its batch's slice. *)
+let chrome_events r =
+  let meta =
+    Elk_obs.Chrome.thread_name ~pid:serving_pid ~tid:1 "serving: batches"
+    :: List.map
+         (fun t ->
+           Elk_obs.Chrome.thread_name ~pid:serving_pid
+             ~tid:(t.req.Workload.req_id + 2)
+             (Printf.sprintf "req %d" t.req.Workload.req_id))
+         r.requests
+  in
+  let batch_slices =
+    List.map
+      (fun b ->
+        Elk_obs.Chrome.complete_event ~pid:serving_pid ~tid:1
+          ~name:(Printf.sprintf "batch %d (%d reqs)" b.b_id b.b_size)
+          ~cat:"serve" ~start:b.b_formed
+          ~dur:(b.b_end -. b.b_formed)
+          ~args:
+            [
+              ("size", string_of_int b.b_size);
+              ("bucket", string_of_int b.b_bucket);
+              ("prompt_ctx", string_of_int b.b_prompt_ctx);
+              ("tokens", string_of_int b.b_tokens);
+              ("fresh_plans", string_of_int b.b_fresh_plans);
+            ]
+          ())
+      r.batches
+  in
+  let req_slices =
+    List.concat_map
+      (fun t ->
+        let tid = t.req.Workload.req_id + 2 in
+        let arrive = t.req.Workload.arrival_s in
+        let args =
+          [
+            ("batch", string_of_int t.batch_id);
+            ("prompt", string_of_int t.req.Workload.prompt_len);
+            ("output", string_of_int t.req.Workload.output_len);
+          ]
+        in
+        let slice name start stop =
+          Elk_obs.Chrome.complete_event ~pid:serving_pid ~tid ~name ~cat:"serve"
+            ~start ~dur:(stop -. start) ~args ()
+        in
+        let flow_id = 100000 + t.req.Workload.req_id in
+        [
+          slice "queued" arrive t.admitted;
+          slice "prefill" t.admitted t.prefill_end;
+          slice "decode" t.prefill_end t.finish;
+          Elk_obs.Chrome.flow_start ~pid:serving_pid ~tid ~name:"admit"
+            ~cat:"serve" ~id:flow_id ~ts:t.admitted ();
+          Elk_obs.Chrome.flow_end ~pid:serving_pid ~tid:1 ~name:"admit"
+            ~cat:"serve" ~id:flow_id ~ts:t.admitted ();
+        ])
+      r.requests
+  in
+  meta @ batch_slices @ req_slices

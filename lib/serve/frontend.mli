@@ -1,0 +1,79 @@
+(** Serving front-end: admission queue + FCFS batch forming over the
+    {!Serve} decode loop, on a simulated clock.
+
+    Requests from {!Workload} arrive over time; whenever the engine is
+    free, the oldest queued requests (up to [max_batch]) are admitted as
+    one batch, padded to a common shape, and generated with a memoized
+    {!Serve.serve} run — static batching with a plan cache keyed on the
+    padded shape, so compile work amortizes across the workload.  Every
+    lifecycle timestamp is simulated; results are byte-deterministic for
+    a given request list at any jobs count. *)
+
+type req_trace = {
+  req : Workload.request;
+  batch_id : int;
+  admitted : float;  (** when its batch formed (= queue exit) *)
+  prefill_end : float;
+  first_token : float;  (** completion of its first decode token *)
+  finish : float;  (** completion of its last decode token *)
+  itls : float list;  (** inter-token latencies, length [output_len - 1] *)
+}
+
+type batch_trace = {
+  b_id : int;
+  b_size : int;  (** admitted requests *)
+  b_bucket : int;  (** padded batch size the plan was built for *)
+  b_prompt_ctx : int;  (** padded prompt length *)
+  b_tokens : int;  (** decode steps actually timed (longest member) *)
+  b_formed : float;
+  b_prefill : float;  (** simulated prefill latency *)
+  b_end : float;
+  b_step_ends : float array;  (** completion time of decode step [k] *)
+  b_live : int array;  (** requests still generating at step [k] *)
+  b_fresh_plans : int;  (** decode plans compiled for this batch (0 = cache hit) *)
+}
+
+type result = {
+  requests : req_trace list;  (** in request-id (= arrival) order *)
+  batches : batch_trace list;  (** in formation order *)
+  makespan : float;  (** completion time of the last batch *)
+  distinct_shapes : int;  (** plan-cache misses: Serve runs actually computed *)
+  recompilations : int;  (** decode plans compiled across all misses *)
+}
+
+val run :
+  ?design:Elk_baselines.Baselines.design ->
+  ?recompile_every:int ->
+  ?elk_options:Elk.Compile.options ->
+  ?jobs:int ->
+  ?max_batch:int ->
+  Elk_dse.Dse.env ->
+  Elk_model.Zoo.config ->
+  Workload.request list ->
+  result
+(** Serve the whole request list.  [max_batch] (default 8) bounds batch
+    size; batches pad to the next power of two, prompts to the plan
+    quantum ([recompile_every], default 64), token counts to a multiple
+    of 16, and identical padded shapes reuse one {!Serve.serve} run.
+    Raises [Invalid_argument] on an empty or out-of-order request list
+    or nonpositive [max_batch]. *)
+
+val queue_wait : req_trace -> float
+(** Arrival to batch admission. *)
+
+val ttft : req_trace -> float
+(** Arrival to first decode-token completion. *)
+
+val timeseries : ?window:float -> result -> Elk_obs.Timeseries.t
+(** Replay the lifecycle into a {!Elk_obs.Timeseries}: [queue_depth] and
+    [inflight_requests] gauges, [tokens_completed] / [tokens_padded]
+    counters per decode step, and rolling [ttft] / [itl] / [queue_wait]
+    histograms.  [window] defaults to [makespan / 48]. *)
+
+val serving_pid : int
+(** Perfetto process id the serving tracks live under. *)
+
+val chrome_events : result -> string list
+(** Per-request queued/prefill/decode slices on one lane per request, a
+    batch lane, and flow arrows from each request's admission to its
+    batch — ready for {!Elk_obs.Chrome.write}. *)

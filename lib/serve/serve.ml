@@ -126,6 +126,16 @@ let mean_latency r =
 let last_latency r =
   match List.rev r.steps with [] -> 0. | s :: _ -> s.latency
 
+(* Recompute throughput from the steps actually recorded rather than
+   trusting the stored field: safe on synthetic/truncated runs where
+   [steps] is empty or [total_time] is 0. *)
+let tokens_per_second r =
+  match r.steps with
+  | [] -> 0.
+  | steps ->
+      if r.total_time > 0. then float_of_int (List.length steps) /. r.total_time
+      else 0.
+
 let pp_run fmt r =
   Format.fprintf fmt
     "%d tokens in %a (%.0f tok/s), %d plan(s) compiled in %.2fs, latency %a -> %a"

@@ -59,4 +59,10 @@ val time_to_first_token : run -> float
 val mean_latency : run -> float
 val last_latency : run -> float
 
+val tokens_per_second : run -> float
+(** Throughput recomputed from the recorded steps: steps / total decode
+    time, and 0 for degenerate runs (no steps, or zero total time) —
+    never a division by zero, unlike reading the raw field off a
+    hand-built [run]. *)
+
 val pp_run : Format.formatter -> run -> unit

@@ -29,5 +29,8 @@ let () =
       ("dse", Test_dse.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("workload", Test_workload.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("frontend", Test_frontend.suite);
       ("integration", Test_integration.suite);
     ]

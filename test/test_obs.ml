@@ -285,7 +285,19 @@ let test_jsonx_parser () =
             (Some sum.Elk_sim.Critpath.total)
             (Option.bind (J.member "total" v) J.to_float)));
   List.iter bad
-    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ];
+  (* one document per input: a second top-level value is trailing
+     garbage, never a silent parse of the first *)
+  List.iter bad [ "{} {}"; "{\"a\":1}{}"; "[1][2]"; "null null"; "true,false" ];
+  (match J.parse "{} {}" with
+  | Error m ->
+      Alcotest.(check bool) "error names the offset" true
+        (List.exists
+           (fun w -> w = "offset")
+           (String.split_on_char ' ' m))
+  | Ok _ -> Alcotest.fail "accepted: {} {}");
+  (* trailing whitespace is not garbage *)
+  ignore (ok "  {\"a\":1}  \n\t ")
 
 let suite =
   [

@@ -91,6 +91,40 @@ let test_prefill_ttft () =
   Alcotest.(check bool) "prefill costlier than a decode step" true
     (r.Serve.prefill_latency > Serve.mean_latency r)
 
+let test_zero_step_guards () =
+  (* A degenerate run (no steps recorded) must yield zeros, not a
+     division by zero, from every derived-metric helper. *)
+  let empty =
+    {
+      Serve.steps = [];
+      prefill_latency = 0.;
+      total_time = 0.;
+      compile_time = 0.;
+      tokens_per_second = 0.;
+      recompilations = 0;
+    }
+  in
+  Alcotest.(check (float 0.)) "mean latency" 0. (Serve.mean_latency empty);
+  Alcotest.(check (float 0.)) "last latency" 0. (Serve.last_latency empty);
+  Alcotest.(check (float 0.)) "tokens per second" 0.
+    (Serve.tokens_per_second empty);
+  Alcotest.(check (float 0.)) "ttft" 0. (Serve.time_to_first_token empty);
+  (* steps recorded but zero elapsed time: still no division by zero *)
+  let zero_time =
+    {
+      empty with
+      Serve.steps =
+        [ { Serve.token = 0; ctx = 64; latency = 0.; recompiled = true } ];
+    }
+  in
+  Alcotest.(check (float 0.)) "zero-time throughput" 0.
+    (Serve.tokens_per_second zero_time);
+  (* and a real run agrees with its stored field *)
+  let r = Lazy.force small_run in
+  Tu.check_rel "recomputed = stored" ~tolerance:1e-9
+    r.Serve.tokens_per_second
+    (Serve.tokens_per_second r)
+
 let suite =
   [
     ("serve: step structure", `Slow, test_step_structure);
@@ -101,4 +135,5 @@ let suite =
     ("serve: rejects bad args", `Quick, test_rejects_bad_args);
     ("serve: prefill ttft", `Slow, test_prefill_ttft);
     ("serve: elk vs basic throughput", `Slow, test_elk_serves_faster_than_basic);
+    ("serve: zero-step guards", `Slow, test_zero_step_guards);
   ]

@@ -1,0 +1,170 @@
+(* Timeseries: half-open window semantics, tiling invariants, per-kind
+   aggregation, ring truncation.  The window-edge and tiling cases are
+   the acceptance checks for the serving time series: a sample exactly
+   on a window edge must land in the window the edge opens, and the
+   exported windows must tile [0, horizon] with no gaps. *)
+
+module T = Elk_obs.Timeseries
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_edge_sample_opens_next_window () =
+  (* Half-open [i, i+1): a sample exactly at t = 1.0 belongs to window 1,
+     not window 0. *)
+  let ts = T.create ~window:1.0 () in
+  T.add ts "c" ~time:1.0 7.;
+  let pts = T.points ts ~horizon:2.0 "c" in
+  Alcotest.(check int) "two windows" 2 (List.length pts);
+  let w0 = List.nth pts 0 and w1 = List.nth pts 1 in
+  Alcotest.(check int) "edge sample not in window 0" 0 w0.T.count;
+  Alcotest.(check int) "edge sample in window 1" 1 w1.T.count;
+  feq "w1 sum" 7. w1.T.sum
+
+let test_edge_sample_extends_coverage () =
+  (* A sample on the horizon's closing edge opens one more window: the
+     tiling grows rather than dropping the sample. *)
+  let ts = T.create ~window:1.0 () in
+  T.add ts "c" ~time:2.0 1.;
+  Alcotest.(check int) "three windows" 3 (T.n_windows ts ~horizon:2.0 "c");
+  match T.check_tiling ts ~horizon:2.0 "c" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_exact_horizon_no_extra_window () =
+  let ts = T.create ~window:1.0 () in
+  T.add ts "c" ~time:0.5 1.;
+  Alcotest.(check int) "exactly covered" 10 (T.n_windows ts ~horizon:10.0 "c")
+
+let test_tiling () =
+  let ts = T.create ~window:0.25 () in
+  T.set ts "g" ~time:0. 1.;
+  T.set ts "g" ~time:2.5 3.;
+  (match T.check_tiling ts ~horizon:10. "g" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let pts = T.points ts ~horizon:10. "g" in
+  Alcotest.(check int) "40 windows" 40 (List.length pts);
+  feq "starts at 0" 0. (List.hd pts).T.t0;
+  feq "reaches horizon" 10. (List.nth pts 39).T.t1;
+  List.iteri
+    (fun i p ->
+      feq (Printf.sprintf "window %d start" i) (0.25 *. float_of_int i) p.T.t0;
+      feq (Printf.sprintf "window %d width" i) 0.25 (p.T.t1 -. p.T.t0))
+    pts;
+  (match T.check_tiling ts ~horizon:10. "missing" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown series should not tile")
+
+let test_counter_semantics () =
+  let ts = T.create ~window:1.0 () in
+  T.add ts "c" ~time:0.5 2.;
+  T.add ts "c" ~time:0.7 3.;
+  T.add ts "c" ~time:1.2 5.;
+  let pts = T.points ts ~horizon:3.0 "c" in
+  Alcotest.(check int) "windows" 3 (List.length pts);
+  let w0 = List.nth pts 0 and w1 = List.nth pts 1 and w2 = List.nth pts 2 in
+  feq "w0 sum" 5. w0.T.sum;
+  feq "w0 rate" 5. w0.T.mean;
+  feq "w0 running total" 5. w0.T.last;
+  feq "w1 running total" 10. w1.T.last;
+  Alcotest.(check int) "w2 empty" 0 w2.T.count;
+  feq "w2 rate 0" 0. w2.T.mean;
+  feq "w2 keeps total" 10. w2.T.last
+
+let test_gauge_carry_forward () =
+  let ts = T.create ~window:1.0 () in
+  T.set ts "g" ~time:0.5 4.;
+  let pts = T.points ts ~horizon:3.0 "g" in
+  let w0 = List.nth pts 0 and w1 = List.nth pts 1 in
+  (* value 0 for the first half of window 0, then 4: time-weighted mean 2 *)
+  feq "w0 time-weighted mean" 2. w0.T.mean;
+  feq "w0 min includes carry-in" 0. w0.T.vmin;
+  feq "w0 max" 4. w0.T.vmax;
+  feq "w0 last" 4. w0.T.last;
+  (* empty window: the gauge holds its value *)
+  Alcotest.(check int) "w1 no events" 0 w1.T.count;
+  feq "w1 carried mean" 4. w1.T.mean;
+  feq "w1 carried last" 4. w1.T.last
+
+let test_histogram_percentiles () =
+  let ts = T.create ~window:1.0 () in
+  for i = 1 to 100 do
+    T.observe ts "h" ~time:0.5 (float_of_int i)
+  done;
+  let w0 = List.hd (T.points ts "h") in
+  Alcotest.(check int) "count" 100 w0.T.count;
+  feq "p50 interpolated" 50.5 w0.T.p50;
+  feq "p99 interpolated" 99.01 w0.T.p99;
+  feq "max" 100. w0.T.vmax;
+  feq "mean" 50.5 w0.T.mean
+
+let test_ring_truncation () =
+  (* capacity 2 keeps the newest two windows, but the dropped window
+     still seeds the running total. *)
+  let ts = T.create ~window:1.0 ~capacity:2 () in
+  T.add ts "c" ~time:0.5 1.;
+  T.add ts "c" ~time:1.5 2.;
+  T.add ts "c" ~time:2.5 4.;
+  let pts = T.points ts "c" in
+  Alcotest.(check int) "ring keeps two" 2 (List.length pts);
+  feq "ring starts at window 1" 1.0 (List.hd pts).T.t0;
+  feq "dropped window still counted in total" 7.
+    (List.nth pts 1).T.last
+
+let test_kind_clash_and_bad_inputs () =
+  let ts = T.create () in
+  T.add ts "x" ~time:0. 1.;
+  let bad f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> T.set ts "x" ~time:0. 1.);
+  bad (fun () -> T.add ts "x" ~time:(-1.) 1.);
+  bad (fun () -> T.add ts "x" ~time:0. Float.nan);
+  bad (fun () -> ignore (T.create ~window:0. ()));
+  bad (fun () -> ignore (T.create ~capacity:0 ()))
+
+let test_json_and_chrome_export () =
+  let ts = T.create ~window:1.0 () in
+  T.add ts "c" ~time:0.5 2.;
+  T.set ts "g" ~time:0.25 1.;
+  T.observe ts "h" ~time:0.75 0.5;
+  let j = T.to_json ts ~horizon:2.0 () in
+  (match Elk_obs.Jsonx.parse j with
+  | Ok v ->
+      (match Elk_obs.Jsonx.member "series" v with
+      | Some (Elk_obs.Jsonx.Obj kvs) ->
+          Alcotest.(check (list string)) "all series exported" [ "c"; "g"; "h" ]
+            (List.sort compare (List.map fst kvs))
+      | _ -> Alcotest.fail "series object missing")
+  | Error m -> Alcotest.fail ("invalid JSON: " ^ m));
+  (* gauges: one counter event per change point; counters: one per window *)
+  Alcotest.(check int) "gauge change points" 1
+    (List.length (T.chrome_counter_events ts ~horizon:2.0 "g"));
+  Alcotest.(check int) "counter per window" 2
+    (List.length (T.chrome_counter_events ts ~horizon:2.0 "c"));
+  List.iter
+    (fun e ->
+      match Elk_obs.Jsonx.parse e with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail ("invalid chrome event: " ^ m))
+    (T.chrome_counter_events ts ~horizon:2.0 "h")
+
+let suite =
+  [
+    Alcotest.test_case "edge sample opens next window" `Quick
+      test_edge_sample_opens_next_window;
+    Alcotest.test_case "edge sample extends coverage" `Quick
+      test_edge_sample_extends_coverage;
+    Alcotest.test_case "exact horizon no extra window" `Quick
+      test_exact_horizon_no_extra_window;
+    Alcotest.test_case "tiling" `Quick test_tiling;
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "gauge carry forward" `Quick test_gauge_carry_forward;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "ring truncation" `Quick test_ring_truncation;
+    Alcotest.test_case "kind clash and bad inputs" `Quick
+      test_kind_clash_and_bad_inputs;
+    Alcotest.test_case "json and chrome export" `Quick test_json_and_chrome_export;
+  ]
