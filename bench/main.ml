@@ -1123,6 +1123,63 @@ let critpath_bench () =
             (t_on /. Float.max 1e-12 t_off))
 
 (* ------------------------------------------------------------------ *)
+(* Memory-observability snapshot (BENCH_mem.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot the headline run's SRAM residency report in the
+   [elk mem --json-out] shape so CI can [elk trace diff] a fresh copy
+   against the committed one.  Like the critpath bench, this re-checks
+   the zero-cost contract for the recording path it gates: residency
+   recording must not perturb the simulated timeline, and its wall-clock
+   overhead over the plain run is measured so a regression in the
+   recording path shows up in the snapshot's [overhead] ratio. *)
+let mem_bench () =
+  let env = Lazy.force default_env in
+  let g = decode llama13b ~batch:32 in
+  match B.plan ~elk_options:bench_elk_options env.D.ctx ~pod:env.D.pod g B.Elk_full with
+  | None -> ()
+  | Some s ->
+      let time reps f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int reps
+      in
+      let reps = 5 in
+      ignore (Elk_sim.Sim.run ~mem:false env.D.ctx s);
+      let t_off = time reps (fun () -> Elk_sim.Sim.run ~mem:false env.D.ctx s) in
+      let t_on = time reps (fun () -> Elk_sim.Sim.run ~mem:true env.D.ctx s) in
+      let r = Elk_sim.Sim.run ~mem:true env.D.ctx s in
+      let r_off = Elk_sim.Sim.run ~mem:false env.D.ctx s in
+      if r.Elk_sim.Sim.total <> r_off.Elk_sim.Sim.total then
+        Printf.printf "RECORDING PERTURBED THE TIMELINE: %.9g vs %.9g\n"
+          r.Elk_sim.Sim.total r_off.Elk_sim.Sim.total;
+      let module Mp = Elk_analyze.Memprof in
+      let rep = Mp.analyze env.D.ctx s r in
+      (match Mp.check rep with
+      | Ok () -> ()
+      | Error m -> Printf.printf "MEMORY INVARIANT VIOLATED: %s\n" m);
+      Mp.print ~top:5 rep;
+      let num v = Printf.sprintf "%.4g" v in
+      (* The elk-mem snapshot plus the overhead record, spliced after the
+         opening brace so the Tracediff core keeps its shape. *)
+      let body = Mp.to_json ~top:8 rep in
+      let body = String.sub body 1 (String.length body - 1) in
+      let json =
+        Printf.sprintf
+          "{\"design\":%S,\"overhead\":{\"sim_disabled_s\":%s,\"sim_enabled_s\":%s,\"ratio\":%s},%s\n"
+          (B.name B.Elk_full) (num t_off) (num t_on)
+          (num (t_on /. Float.max 1e-12 t_off))
+          body
+      in
+      let oc = open_out "BENCH_mem.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote BENCH_mem.json (recording overhead %.2fx)\n\n"
+        (t_on /. Float.max 1e-12 t_off)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1238,6 +1295,7 @@ let experiments =
     ("attrib", attrib);
     ("compile", compile_bench);
     ("critpath", critpath_bench);
+    ("mem", mem_bench);
     ("micro", micro);
   ]
 

@@ -410,6 +410,85 @@ let critpath_cmd =
       $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ top_segments_t $ json_out_t
       $ metrics_out_t $ trace_out_t)
 
+let mem_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design top
+      window json_out metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    match B.plan env.D.ctx ~pod:env.D.pod g design with
+    | None ->
+        Format.eprintf "elk_cli: the Ideal roofline has no schedule to profile@.";
+        exit 1
+    | Some s ->
+        let r = Elk_sim.Sim.run ~mem:true env.D.ctx s in
+        let rep = Elk_analyze.Memprof.analyze ?window env.D.ctx s r in
+        (match Elk_analyze.Memprof.check rep with
+        | Ok () -> ()
+        | Error m ->
+            Format.eprintf "elk_cli: memory invariant violated: %s@." m;
+            exit 1);
+        let over = Elk_analyze.Memprof.overcommit_bytes rep in
+        if over > 0. then
+          Format.eprintf
+            "warning[mem.overcommit] peak occupancy %.0f B/core (%.0f B over \
+             per-core SRAM); contention is charged downstream@."
+            rep.Elk_analyze.Memprof.dyn_high_water over;
+        Elk_analyze.Memprof.print ~top rep;
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            failing_write ~what:"memory report" (fun () ->
+                let oc = open_out path in
+                output_string oc (Elk_analyze.Memprof.to_json ~top rep);
+                close_out oc);
+            Format.printf "wrote memory report to %s@." path);
+        Elk_obs.Metrics.set "elk_mem_dyn_high_water_bytes"
+          ~help:"Peak per-core SRAM occupancy (dynamic)"
+          rep.Elk_analyze.Memprof.dyn_high_water;
+        Elk_obs.Metrics.set "elk_mem_static_high_water_bytes"
+          ~help:"Peak per-core SRAM demand (static ledger)"
+          rep.Elk_analyze.Memprof.static_high_water;
+        Elk_obs.Metrics.set "elk_mem_wasted_byte_seconds"
+          ~help:"Pre-use + exchange-tail wasted residency"
+          (rep.Elk_analyze.Memprof.pre_waste
+          +. rep.Elk_analyze.Memprof.post_waste);
+        write_trace
+          ~sim:(s.Elk.Schedule.graph, r)
+          ~extra:(Elk_analyze.Memprof.chrome_counter_events rep)
+          trace_out;
+        write_metrics metrics_out
+  in
+  let top_t =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~doc:"Buffers/operators to show in detail.")
+  in
+  let window_t =
+    Arg.(value & opt (some float) None
+         & info [ "window" ] ~docv:"SECONDS"
+             ~doc:"Occupancy time-series window width (default: makespan/48).")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ]
+             ~doc:
+               "Write the memory report as JSON to $(docv) — the top-level \
+                total/segments follow the format $(b,elk trace diff) consumes.")
+  in
+  Cmd.v
+    (Cmd.info "mem"
+       ~doc:
+         "Simulate a design with SRAM-residency recording and print the \
+          memory report: per-core occupancy timeline, high-water marks vs \
+          usable SRAM, wasted residency, the static buffer-lifetime ledger \
+          and the HBM traffic ledger.  With --trace-out, occupancy gauges \
+          are exported as Perfetto counter tracks beside the device \
+          timeline.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ window_t $ json_out_t
+      $ metrics_out_t $ trace_out_t)
+
 let trace_cmd =
   let diff_cmd =
     let run old_path new_path threshold top json_out =
@@ -665,7 +744,7 @@ let serve_cmd =
   let module W = Elk_serve.Workload in
   let module F = Elk_serve.Frontend in
   let run cfg scale layer_factor chips cores topology jobs design workload rate
-      requests seed prompt output max_batch slo_ttft slo_itl window json_out
+      requests seed prompt output max_batch slo_ttft slo_itl window mem json_out
       metrics_out trace_out =
     set_jobs jobs;
     obs_setup ~metrics_out ~trace_out;
@@ -687,8 +766,8 @@ let serve_cmd =
         let result = F.run ~design ?jobs ~max_batch env cfg reqs in
         Ok
           ( result,
-            Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~workload ~seed
-              result )
+            Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~mem ~workload
+              ~seed result )
       with Invalid_argument m -> Error m
     in
     match outcome with
@@ -767,6 +846,14 @@ let serve_cmd =
       & info [ "window" ]
           ~doc:"Time-series window width in seconds (default: makespan/48).")
   in
+  let mem_t =
+    Arg.(
+      value & flag
+      & info [ "mem" ]
+          ~doc:
+            "Also record a per-core SRAM high-water gauge (the static demand \
+             of the plans serving each batch) into the time series.")
+  in
   let json_out_t =
     Arg.(
       value
@@ -786,7 +873,7 @@ let serve_cmd =
       const run $ model_t $ scale_t $ layer_factor_t $ chips_t $ cores_t
       $ topo_t $ jobs_t $ design_t $ workload_t $ rate_t $ requests_t $ seed_t
       $ prompt_t $ output_t $ max_batch_t $ slo_ttft_t $ slo_itl_t $ window_t
-      $ json_out_t $ metrics_out_t $ trace_out_t)
+      $ mem_t $ json_out_t $ metrics_out_t $ trace_out_t)
 
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in
@@ -795,5 +882,5 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            critpath_cmd; trace_cmd; profile_cmd; verify_cmd; serve_cmd;
+            critpath_cmd; mem_cmd; trace_cmd; profile_cmd; verify_cmd; serve_cmd;
           ]))

@@ -34,10 +34,19 @@ let step_delta p =
     let slower = Float.max 1e-12 (p.times.(p.idx - 1) -. p.times.(p.idx)) in
     Some (freed /. slower)
 
-let allocate ctx ~capacity ~exec_op ~window =
+let allocate_or_error ctx ~capacity ~exec_op ~window =
   let open Elk_model in
+  let op_label =
+    Printf.sprintf "op %d (%s)" exec_op.Graph.id
+      exec_op.Graph.op.Elk_tensor.Opspec.name
+  in
   let exec_frontier = P.exec_frontier ctx exec_op.Graph.op in
-  if exec_frontier = [] then None
+  if exec_frontier = [] then
+    Error
+      (Printf.sprintf
+         "allocation infeasible for %s: no execute-state plan fits %.0f \
+          B/core SRAM"
+         op_label capacity)
   else begin
     let exec_part = of_points exec_frontier in
     let window_opts =
@@ -74,7 +83,18 @@ let allocate ctx ~capacity ~exec_op ~window =
             descend ()
       end
     in
-    if not (descend ()) then None
+    if not (descend ()) then
+      (* Every participant is at its smallest Pareto point, so [total ()]
+         is the irreducible demand of this window combination. *)
+      Error
+        (Printf.sprintf
+           "allocation infeasible for %s: minimal demand %.0f B/core \
+            (execute state + %d overlapping preloads) exceeds %.0f B/core \
+            SRAM by %.0f B"
+           op_label (total ())
+           (List.length window_opts)
+           capacity
+           (total () -. capacity))
     else begin
       let exec_plan =
         (List.nth exec_frontier exec_part.idx).Pareto.payload
@@ -103,7 +123,7 @@ let allocate ctx ~capacity ~exec_op ~window =
       let dist_total =
         List.fold_left (fun a (_, o) -> a +. P.preload_overhead o) 0. chosen_window
       in
-      Some
+      Ok
         {
           exec_plan;
           window = chosen_window;
@@ -114,6 +134,17 @@ let allocate ctx ~capacity ~exec_op ~window =
         }
     end
   end
+
+let allocate ctx ~capacity ~exec_op ~window =
+  match allocate_or_error ctx ~capacity ~exec_op ~window with
+  | Ok r -> Some r
+  | Error msg ->
+      (* Infeasibility is routine during the window search (the caller
+         retries with fewer preloads), so this is debug-level — but the
+         message now names the capacity, the demanded bytes, and the
+         offending operator instead of a bare [None]. *)
+      Elk_obs.Logger.debug ~src:"alloc" msg;
+      None
 
 let min_preload_space ctx (node : Elk_model.Graph.node) =
   match P.exec_frontier ctx node.Elk_model.Graph.op with

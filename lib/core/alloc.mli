@@ -37,7 +37,20 @@ val allocate :
 (** [allocate ctx ~capacity ~exec_op ~window] returns [None] when even the
     smallest plans/options overflow [capacity] (the caller then tries a
     smaller preload number), or when the executing operator has no feasible
-    plan at all. *)
+    plan at all.  The infeasibility diagnostic — capacity, demanded bytes,
+    offending operator — is logged at debug level under the [alloc]
+    source; use {!allocate_or_error} to receive it directly. *)
+
+val allocate_or_error :
+  Elk_partition.Partition.ctx ->
+  capacity:float ->
+  exec_op:Elk_model.Graph.node ->
+  window:(Elk_model.Graph.node * Elk_partition.Partition.plan) list ->
+  (result, string) Stdlib.result
+(** Like {!allocate}, but an infeasible combination returns
+    [Error msg] where [msg] names the offending operator, the SRAM
+    capacity, and the minimal demanded bytes that overflowed it —
+    the same search, diagnostics instead of a bare [None]. *)
 
 val min_preload_space :
   Elk_partition.Partition.ctx -> Elk_model.Graph.node -> float

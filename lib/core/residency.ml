@@ -1,0 +1,158 @@
+(* Static SRAM-residency replay over a schedule.
+
+   The same liveness model the verifier's mem.capacity rule replays — at
+   execute step [i] the executing operator holds its execute-state space
+   while every issued-but-not-yet-executed operator holds its
+   preload-state space — factored out of Elk_verify so that analysis
+   tooling (Elk_analyze.Memprof) can consume it without linking the
+   verifier library (whose -linkall module initializer would arm the
+   compile-time verification hook in any executable that depends on it).
+
+   Beyond the per-step usage the verifier needs, this module derives a
+   buffer-lifetime ledger (alloc step, first/last use, free step, bytes,
+   core count per buffer) and an HBM traffic ledger (bytes moved, move
+   count, reuse distance in steps per tensor) — all statically, without
+   running the simulator. *)
+
+module P = Elk_partition.Partition
+module G = Elk_model.Graph
+
+type kind = Preload | Exec
+
+let kind_name = function Preload -> "preload" | Exec -> "exec"
+
+type buffer = {
+  op : int;
+  name : string;
+  kind : kind;
+  bytes : float;  (* per-core *)
+  cores : int;
+  alloc_step : int;
+  first_use : int;
+  last_use : int;
+  free_step : int;
+}
+
+type hbm_row = {
+  h_op : int;
+  h_name : string;
+  h_bytes : float;
+  h_moves : int;
+  h_reuse_distance : int;
+}
+
+type t = {
+  capacity : float;
+  cores : int;
+  buffers : buffer list;
+  hbm : hbm_row list;
+  step_usage : float array;
+  high_water : float;
+  high_water_step : int;
+}
+
+(* issued.(i) = number of preload positions issued once step i's window
+   has been laid out: the initial batch plus every window up to and
+   including window i+1 (program order interleaves [emit_window (i+1);
+   execute i]). *)
+let issued_counts (s : Schedule.t) =
+  let n = Schedule.num_ops s in
+  let issued = Array.make n 0 in
+  let running = ref s.Schedule.windows.(0) in
+  for i = 0 to n - 1 do
+    running := !running + s.Schedule.windows.(i + 1);
+    issued.(i) <- !running
+  done;
+  issued
+
+(* Per-core live bytes during execute step i: the executing operator's
+   execute space plus the preload space of every operator already issued
+   but not yet executed.  Identical to the verifier's mem.capacity
+   replay. *)
+let step_usage (s : Schedule.t) =
+  let n = Schedule.num_ops s in
+  let issued = issued_counts s in
+  Array.init n (fun i ->
+      let usage = ref s.Schedule.entries.(i).Schedule.plan.P.exec_space in
+      for k = 0 to issued.(i) - 1 do
+        let w = s.Schedule.order.(k) in
+        if w > i then
+          usage := !usage +. s.Schedule.entries.(w).Schedule.popt.P.preload_space
+      done;
+      !usage)
+
+let of_schedule ~capacity ~cores (s : Schedule.t) =
+  let n = Schedule.num_ops s in
+  let graph = s.Schedule.graph in
+  let name_of op = (G.get graph op).G.op.Elk_tensor.Opspec.name in
+  let pos = Schedule.position_of s in
+  let step = Schedule.preload_step s in
+  let usage = step_usage s in
+  let high_water = ref 0. and high_water_step = ref 0 in
+  Array.iteri
+    (fun i u ->
+      if u > !high_water then begin
+        high_water := u;
+        high_water_step := i
+      end)
+    usage;
+  let buffers = ref [] in
+  let hbm = ref [] in
+  for op = n - 1 downto 0 do
+    let e = s.Schedule.entries.(op) in
+    let alloc = step.(pos.(op)) in
+    (* Execute footprint: allocated when the operator starts executing,
+       its last use is the execute step itself, freed as it completes. *)
+    if e.Schedule.plan.P.exec_space > 0. then
+      buffers :=
+        {
+          op;
+          name = name_of op;
+          kind = Exec;
+          bytes = e.Schedule.plan.P.exec_space;
+          cores = e.Schedule.plan.P.cores_used;
+          alloc_step = op;
+          first_use = op;
+          last_use = op;
+          free_step = op;
+        }
+        :: !buffers;
+    (* Preload buffer: allocated when its window is issued, consumed
+       (converted to execute state) at the operator's own step. *)
+    if e.Schedule.popt.P.preload_space > 0. then
+      buffers :=
+        {
+          op;
+          name = name_of op;
+          kind = Preload;
+          bytes = e.Schedule.popt.P.preload_space;
+          cores;
+          alloc_step = alloc;
+          first_use = op;
+          last_use = op;
+          free_step = op;
+        }
+        :: !buffers;
+    let dev = e.Schedule.popt.P.hbm_device_bytes in
+    hbm :=
+      {
+        h_op = op;
+        h_name = name_of op;
+        h_bytes = dev;
+        h_moves = (if dev > 0. then 1 else 0);
+        h_reuse_distance = op - alloc;
+      }
+      :: !hbm
+  done;
+  {
+    capacity;
+    cores;
+    buffers = !buffers;
+    hbm = !hbm;
+    step_usage = usage;
+    high_water = !high_water;
+    high_water_step = !high_water_step;
+  }
+
+let high_water (s : Schedule.t) =
+  Array.fold_left Float.max 0. (step_usage s)

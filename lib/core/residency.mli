@@ -1,0 +1,78 @@
+(** Static SRAM-residency replay over a schedule (the buffer-lifetime
+    ledger behind [elk mem]).
+
+    Replays the same liveness model as the verifier's [mem.capacity]
+    rule — during execute step [i] the executing operator holds its
+    execute-state space while every issued-but-not-yet-executed operator
+    holds its preload-state space — and derives from it, without running
+    the simulator:
+
+    - per-step per-core SRAM usage and its high-water mark;
+    - a buffer-lifetime ledger: per buffer, its allocation step
+      (window issue for preloads, the execute step for execute
+      footprints), first/last use, free step, per-core bytes, and the
+      core set holding it;
+    - an HBM traffic ledger per tensor: bytes moved from the devices,
+      move count, and reuse distance in steps between the preload issue
+      and the consuming execute.
+
+    Lives in the core library (not [Elk_verify]) so analysis tooling can
+    link it without arming the verifier's compile-time hook; the
+    verifier delegates its usage computation here, so the two can never
+    drift. *)
+
+type kind = Preload  (** preload-state buffer, held on every core. *)
+          | Exec  (** execute-state footprint on the cores used. *)
+
+val kind_name : kind -> string
+
+type buffer = {
+  op : int;  (** operator id the buffer belongs to. *)
+  name : string;  (** operator name. *)
+  kind : kind;
+  bytes : float;  (** per-core bytes. *)
+  cores : int;  (** cores holding the buffer. *)
+  alloc_step : int;
+      (** execute step whose window issued it (0 = initial batch) for
+          preloads; the operator's own step for execute footprints. *)
+  first_use : int;  (** execute step of the first (= only) use. *)
+  last_use : int;
+  free_step : int;  (** execute step after which the bytes are free. *)
+}
+
+type hbm_row = {
+  h_op : int;
+  h_name : string;
+  h_bytes : float;  (** bytes read from HBM devices for this tensor. *)
+  h_moves : int;  (** HBM transfers issued (0 for zero-byte preloads). *)
+  h_reuse_distance : int;
+      (** steps between the preload issue and the consuming execute. *)
+}
+
+type t = {
+  capacity : float;  (** per-core SRAM capacity the ledger was built for. *)
+  cores : int;  (** cores per chip. *)
+  buffers : buffer list;  (** in (op, Exec-before-Preload) order. *)
+  hbm : hbm_row list;  (** one row per operator, in op order. *)
+  step_usage : float array;  (** per-core live bytes during each step. *)
+  high_water : float;  (** max of [step_usage]. *)
+  high_water_step : int;
+}
+
+val issued_counts : Schedule.t -> int array
+(** [issued.(i)] = preload positions issued once step [i]'s window is
+    out: the initial batch plus windows [1..i+1] (program order
+    interleaves [emit_window (i+1); execute i]). *)
+
+val step_usage : Schedule.t -> float array
+(** Per-core live bytes during each execute step — the verifier's
+    [mem.capacity] usage replay. *)
+
+val of_schedule : capacity:float -> cores:int -> Schedule.t -> t
+(** Build the full ledger.  [capacity] and [cores] come from the chip
+    ({!Elk_arch.Arch.usable_sram_per_core}); they only annotate the
+    result, the replay itself needs neither. *)
+
+val high_water : Schedule.t -> float
+(** [Array.fold_left max 0. (step_usage s)] without building a ledger —
+    the cheap form serving uses per compiled plan. *)

@@ -46,6 +46,7 @@ type batch_trace = {
   b_step_ends : float array;  (* completion time of decode step k *)
   b_live : int array;  (* requests still generating at step k *)
   b_fresh_plans : int;  (* decode plans compiled for this batch (0 on cache hit) *)
+  b_highwater : float;  (* peak static per-core SRAM bytes of its plans *)
 }
 
 type result = {
@@ -156,6 +157,7 @@ let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
             b_step_ends = step_ends;
             b_live = live;
             b_fresh_plans = fresh;
+            b_highwater = sr.Serve.highwater;
           }
         in
         Elk_obs.Logger.debug ~src:"frontend"
@@ -200,7 +202,7 @@ let ttft t = t.first_token -. t.req.Workload.arrival_s
    counters per decode step, and rolling TTFT/ITL histograms.  Events
    are generated in chronological order per series, so gauge integration
    is exact. *)
-let timeseries ?window r =
+let timeseries ?window ?(mem = false) r =
   let window =
     match window with
     | Some w -> w
@@ -255,6 +257,17 @@ let timeseries ?window r =
               ~help:"Padded batch slots computed but discarded")
         b.b_step_ends)
     r.batches;
+  (* SRAM occupancy gauge (opt-in): the per-core high water of whichever
+     plan set is serving the engine, stepping at each batch formation *)
+  if mem then begin
+    Elk_obs.Timeseries.set ts "sram_highwater_per_core" ~time:0. 0.
+      ~help:"Peak static per-core SRAM bytes of the plans serving each batch";
+    List.iter
+      (fun b ->
+        Elk_obs.Timeseries.set ts "sram_highwater_per_core" ~time:b.b_formed
+          b.b_highwater)
+      r.batches
+  end;
   (* rolling latency distributions *)
   List.iter
     (fun t ->

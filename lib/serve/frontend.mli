@@ -31,6 +31,9 @@ type batch_trace = {
   b_step_ends : float array;  (** completion time of decode step [k] *)
   b_live : int array;  (** requests still generating at step [k] *)
   b_fresh_plans : int;  (** decode plans compiled for this batch (0 = cache hit) *)
+  b_highwater : float;
+      (** peak static per-core SRAM bytes across the plans serving this
+          batch ({!Serve.run.highwater} of its memoized run) *)
 }
 
 type result = {
@@ -64,11 +67,13 @@ val queue_wait : req_trace -> float
 val ttft : req_trace -> float
 (** Arrival to first decode-token completion. *)
 
-val timeseries : ?window:float -> result -> Elk_obs.Timeseries.t
+val timeseries : ?window:float -> ?mem:bool -> result -> Elk_obs.Timeseries.t
 (** Replay the lifecycle into a {!Elk_obs.Timeseries}: [queue_depth] and
     [inflight_requests] gauges, [tokens_completed] / [tokens_padded]
     counters per decode step, and rolling [ttft] / [itl] / [queue_wait]
-    histograms.  [window] defaults to [makespan / 48]. *)
+    histograms.  With [mem] (default false) also a
+    [sram_highwater_per_core] gauge stepping at each batch formation.
+    [window] defaults to [makespan / 48]. *)
 
 val serving_pid : int
 (** Perfetto process id the serving tracks live under. *)

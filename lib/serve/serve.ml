@@ -10,6 +10,7 @@ type run = {
   compile_time : float;
   tokens_per_second : float;
   recompilations : int;
+  highwater : float;
 }
 
 let round_up v quantum = (v + quantum - 1) / quantum * quantum
@@ -27,6 +28,19 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
   let chips = env.D.pod.Elk_arch.Arch.chips in
   (* Cache of (plan context length -> (latency, compile seconds)). *)
   let plans = Hashtbl.create 8 in
+  (* Peak static per-core SRAM demand across every plan this run
+     compiles (prefill included): the Residency ledger's high water,
+     read off the schedule at compile time — no extra simulation. *)
+  let chip = Elk_partition.Partition.ctx_chip env.D.ctx in
+  let highwater = ref 0. in
+  let note_plan s =
+    let ledger =
+      Elk.Residency.of_schedule
+        ~capacity:(Elk_arch.Arch.usable_sram_per_core chip)
+        ~cores:chip.Elk_arch.Arch.cores s
+    in
+    highwater := Float.max !highwater ledger.Elk.Residency.high_water
+  in
   let plan_for ctx_len =
     match Hashtbl.find_opt plans ctx_len with
     | Some entry -> (entry, false)
@@ -47,6 +61,7 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
               let latency =
                 match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
                 | Some s ->
+                    note_plan s;
                     let r = Elk_sim.Sim.run env.D.ctx s in
                     r.Elk_sim.Sim.total
                     +. Elk.Sharding.allreduce_time env.D.pod
@@ -70,6 +85,7 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
       let latency =
         match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
         | Some s ->
+            note_plan s;
             let r = Elk_sim.Sim.run env.D.ctx s in
             r.Elk_sim.Sim.total
             +. Elk.Sharding.allreduce_time env.D.pod
@@ -113,6 +129,7 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
     compile_time;
     tokens_per_second;
     recompilations = Hashtbl.length plans;
+    highwater = !highwater;
   }
 
 let time_to_first_token r =

@@ -27,6 +27,10 @@ type run = {
   compile_time : float;  (** total wall-clock spent compiling. *)
   tokens_per_second : float;  (** steps / total_time (excl. compile). *)
   recompilations : int;
+  highwater : float;
+      (** peak static per-core SRAM demand (bytes) across every plan the
+          run compiled, prefill included — the {!Elk.Residency} ledger's
+          high water, read off each schedule at compile time. *)
 }
 
 val serve :

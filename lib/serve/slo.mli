@@ -45,13 +45,16 @@ val of_result :
   ?slo_ttft:float ->
   ?slo_itl:float ->
   ?window:float ->
+  ?mem:bool ->
   workload:string ->
   seed:int ->
   Frontend.result ->
   report
-(** Build the report.  Validates that every time series tiles
-    [[0, makespan]] edge to edge ({!Elk_obs.Timeseries.check_tiling})
-    and raises [Invalid_argument] if any window is missing. *)
+(** Build the report.  [mem] is passed through to
+    {!Frontend.timeseries} (SRAM high-water gauge, default off).
+    Validates that every time series tiles [[0, makespan]] edge to edge
+    ({!Elk_obs.Timeseries.check_tiling}) and raises [Invalid_argument]
+    if any window is missing. *)
 
 val to_json : report -> string
 (** Snapshot with a Tracediff-comparable core ([total] = makespan,

@@ -29,6 +29,7 @@ type result = {
   hbm_requests : int;
   perf : Perfcore.t;
   events : Critpath.event array option;
+  mem : Memtrace.t option;
 }
 
 (* Per-link reservation state, split into two traffic classes sharing each
@@ -160,6 +161,13 @@ let default_events =
   | Some ("1" | "true" | "on" | "yes") -> true
   | _ -> false
 
+(* SRAM-residency recording (Memtrace) follows the same contract:
+   off by default, zero work when off, never read back into timing. *)
+let default_mem =
+  match Sys.getenv_opt "ELK_SIM_MEM" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
 type recorder = {
   mutable log : Critpath.event list;  (* reverse emission order *)
   mutable n_events : int;
@@ -185,7 +193,7 @@ let emit rc ~op ~kind ~t_start ~t_end ~parent ~deps ~port_wait =
    Ties go to [on_b] (callers pass the data-dependency side there). *)
 let binding ~a ~on_a ~b ~on_b = if on_b < 0 || (a > b && on_a >= 0) then on_a else on_b
 
-let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
+let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
   (match Elk.Schedule.validate s with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sim.run: invalid schedule: " ^ m));
@@ -228,6 +236,10 @@ let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
              pre_done = Array.make n (-1) }
     else None
   in
+  let mrec =
+    if record_mem then Some (Memtrace.create ~cores:chip.Arch.cores ~ops:n)
+    else None
+  in
   let cores_of plan = plan.P.cores_used in
   Array.iter
     (fun instr ->
@@ -254,6 +266,11 @@ let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
             pre_start.(op) <- gate;
             pre_end.(op) <- gate;
             preload_free := gate;
+            Option.iter
+              (fun m ->
+                Memtrace.record_preload m ~op ~reserve:gate ~deliver:gate
+                  ~bytes:popt.P.preload_space)
+              mrec;
             Option.iter
               (fun rc ->
                 let id =
@@ -339,6 +356,11 @@ let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
               Elk_util.Series.add perf.Perfcore.noc_series ~t_start:gate
                 ~t_end:!finish ~volume:popt.P.noc_inject_bytes;
             preload_free := !finish;
+            Option.iter
+              (fun m ->
+                Memtrace.record_preload m ~op ~reserve:gate ~deliver:!finish
+                  ~bytes:popt.P.preload_space)
+              mrec;
             Option.iter
               (fun rc ->
                 let read =
@@ -493,6 +515,12 @@ let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
           compute_end_arr.(op) <- !compute_end;
           exe_end.(op) <- !ex_end;
           Option.iter
+            (fun m ->
+              Memtrace.record_execute m ~op ~first_use:start
+                ~tail_start:!compute_end ~release:!ex_end
+                ~bytes:plan.P.exec_space ~cores:ncores)
+            mrec;
+          Option.iter
             (fun rc ->
               (* Ties go to the preload side: at equal times the data
                  dependency (§4.5 rule 3) is the enabling completion. *)
@@ -618,12 +646,14 @@ let run_impl ~skew ~record ctx (s : Elk.Schedule.t) =
     hbm_requests = stats.Elk_hbm.Hbm.requests;
     perf;
     events = Option.map (fun rc -> Array.of_list (List.rev rc.log)) rc;
+    mem = mrec;
   }
 
-let run ?(skew = 0.02) ?(events = default_events) ctx (s : Elk.Schedule.t) =
+let run ?(skew = 0.02) ?(events = default_events) ?(mem = default_mem) ctx
+    (s : Elk.Schedule.t) =
   Elk_obs.Span.with_span "sim-run"
     ~attrs:[ ("ops", string_of_int (Elk.Schedule.num_ops s)) ]
-    (fun () -> run_impl ~skew ~record:events ctx s)
+    (fun () -> run_impl ~skew ~record:events ~record_mem:mem ctx s)
 
 let compare_with_timeline ctx s =
   let sim = run ctx s in

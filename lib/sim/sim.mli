@@ -58,20 +58,28 @@ type result = {
       (** causal event DAG, recorded only when {!run} is called with
           [~events:true] (or [ELK_SIM_EVENTS=1]); [None] otherwise.
           Feed to {!Critpath.extract} for the critical path. *)
+  mem : Memtrace.t option;
+      (** SRAM-residency record, only when {!run} is called with
+          [~mem:true] (or [ELK_SIM_MEM=1]); [None] otherwise.  Feed to
+          {!Elk_analyze.Memprof} for occupancy timelines and wasted
+          residency. *)
 }
 
 val run :
   ?skew:float ->
   ?events:bool ->
+  ?mem:bool ->
   Elk_partition.Partition.ctx ->
   Elk.Schedule.t ->
   result
 (** Simulate one chip executing a schedule.  [skew] (default 0.02) is the
     relative deterministic per-core compute-time perturbation.  [events]
     (default: the [ELK_SIM_EVENTS] env var, off otherwise) turns on
-    causal event recording; it is pure bookkeeping — recorded times are
-    never read back, so the simulated timeline is identical either way.
-    Raises [Invalid_argument] if the schedule fails validation. *)
+    causal event recording, and [mem] (default: [ELK_SIM_MEM]) turns on
+    SRAM-residency recording; both are pure bookkeeping — recorded
+    times are never read back, so the simulated timeline is identical
+    either way.  Raises [Invalid_argument] if the schedule fails
+    validation. *)
 
 val compare_with_timeline :
   Elk_partition.Partition.ctx -> Elk.Schedule.t -> float

@@ -262,17 +262,16 @@ let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
     (* --- mem.capacity / mem.overcommit: per-step SRAM liveness replay.
        At step i the executing operator holds its execute space while
        every issued-but-not-yet-executed operator holds its preload
-       space.  An overflow is an [Error] when some preload-option
-       assignment would have fitted (the artifact is wrong), and a
-       [Warning] when even minimal options overflow (the documented
-       smallest-plan fallback, charged as contention downstream). --- *)
+       space.  The replay itself lives in [Elk.Residency] (shared with
+       the memory-observability ledger, so the two views cannot drift);
+       this rule keeps the severity split: an overflow is an [Error]
+       when some preload-option assignment would have fitted (the
+       artifact is wrong), and a [Warning] when even minimal options
+       overflow (the documented smallest-plan fallback, charged as
+       contention downstream). --- *)
     if on "mem.capacity" || on "mem.overcommit" then begin
-      let issued = Array.make n 0 in
-      let running = ref s.S.windows.(0) in
-      for i = 0 to n - 1 do
-        running := !running + s.S.windows.(i + 1);
-        issued.(i) <- !running
-      done;
+      let issued = Elk.Residency.issued_counts s in
+      let usage_at = Elk.Residency.step_usage s in
       let min_space = Hashtbl.create 16 in
       let minimal_space id =
         match Hashtbl.find_opt min_space id with
@@ -288,14 +287,11 @@ let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
             v
       in
       for i = 0 to n - 1 do
-        let usage = ref s.S.entries.(i).S.plan.P.exec_space in
+        let usage = ref usage_at.(i) in
         let floor = ref s.S.entries.(i).S.plan.P.exec_space in
         for k = 0 to issued.(i) - 1 do
           let w = s.S.order.(k) in
-          if w > i then begin
-            usage := !usage +. s.S.entries.(w).S.popt.P.preload_space;
-            floor := !floor +. minimal_space w
-          end
+          if w > i then floor := !floor +. minimal_space w
         done;
         if !usage > capacity +. capacity_eps then begin
           let payload =

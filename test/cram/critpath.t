@@ -70,3 +70,10 @@ An unparseable snapshot is a usage error (exit 2), not a regression.
   $ ../../bin/elk_cli.exe trace diff old.json garbage.json
   elk_cli: new snapshot: invalid JSON: expected 'null' at offset 0
   [2]
+
+The metrics sidecar lands beside the snapshot: simulator counters and
+the critpath gauges in one Prometheus-style JSON dump.
+
+  $ ../../bin/elk_cli.exe critpath -m dit-xl --scale 8 -b 2 --metrics-out cm.json >/dev/null
+  $ grep -c '"elk_sim_runs_total"' cm.json
+  1

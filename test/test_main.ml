@@ -31,6 +31,7 @@ let () =
       ("serve", Test_serve.suite);
       ("workload", Test_workload.suite);
       ("timeseries", Test_timeseries.suite);
+      ("memprof", Test_memprof.suite);
       ("frontend", Test_frontend.suite);
       ("integration", Test_integration.suite);
     ]

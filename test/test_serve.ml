@@ -102,6 +102,7 @@ let test_zero_step_guards () =
       compile_time = 0.;
       tokens_per_second = 0.;
       recompilations = 0;
+      highwater = 0.;
     }
   in
   Alcotest.(check (float 0.)) "mean latency" 0. (Serve.mean_latency empty);

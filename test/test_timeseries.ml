@@ -151,6 +151,36 @@ let test_json_and_chrome_export () =
       | Error m -> Alcotest.fail ("invalid chrome event: " ^ m))
     (T.chrome_counter_events ts ~horizon:2.0 "h")
 
+(* A gauge change exactly on a window edge: the old value carries fully
+   through the earlier window, the new value holds from the edge — so
+   the boundary window's time-weighted mean sees only the new value. *)
+let test_gauge_set_at_window_boundary () =
+  let ts = T.create ~window:1.0 () in
+  T.set ts "g" ~time:0.0 2.;
+  T.set ts "g" ~time:2.0 10.;
+  let pts = T.points ts ~horizon:3.0 "g" in
+  Alcotest.(check int) "three windows" 3 (List.length pts);
+  let w1 = List.nth pts 1 and w2 = List.nth pts 2 in
+  (* window [1,2): entirely the carried-in old value *)
+  feq "carry-in mean" 2. w1.T.mean;
+  feq "carry-in last" 2. w1.T.last;
+  Alcotest.(check int) "no event in carried window" 0 w1.T.count;
+  (* window [2,3): the edge change belongs to the window it opens *)
+  Alcotest.(check int) "edge change in window 2" 1 w2.T.count;
+  feq "boundary mean is all new value" 10. w2.T.mean;
+  feq "boundary min includes carry" 2. w2.T.vmin;
+  feq "boundary last" 10. w2.T.last
+
+(* Counter-track export of a series that was never recorded: an empty
+   list, not a crash and not a spurious zero track. *)
+let test_chrome_counter_events_empty_series () =
+  let ts = T.create ~window:1.0 () in
+  T.set ts "present" ~time:0.5 1.;
+  Alcotest.(check (list string)) "unknown series exports nothing" []
+    (T.chrome_counter_events ts ~horizon:2.0 "absent");
+  Alcotest.(check bool) "known series exports" true
+    (T.chrome_counter_events ts ~horizon:2.0 "present" <> [])
+
 let suite =
   [
     Alcotest.test_case "edge sample opens next window" `Quick
@@ -167,4 +197,8 @@ let suite =
     Alcotest.test_case "kind clash and bad inputs" `Quick
       test_kind_clash_and_bad_inputs;
     Alcotest.test_case "json and chrome export" `Quick test_json_and_chrome_export;
+    Alcotest.test_case "gauge set at window boundary" `Quick
+      test_gauge_set_at_window_boundary;
+    Alcotest.test_case "counter export of empty series" `Quick
+      test_chrome_counter_events_empty_series;
   ]
