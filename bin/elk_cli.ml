@@ -185,7 +185,10 @@ let compile_cmd =
     (match save_plan with
     | None -> ()
     | Some path ->
-        Elk.Planio.save ~path c.Elk.Compile.schedule;
+        (* Record the SRAM address layout so [elk lint --plan] checks the
+           addresses this compile actually assigned. *)
+        let layout = Elk.Alloc.layout_of_schedule c.Elk.Compile.schedule in
+        Elk.Planio.save ~layout ~path c.Elk.Compile.schedule;
         Format.printf "saved plan to %s@." path);
     (match trace_out with
     | None -> ()
@@ -633,27 +636,31 @@ let profile_cmd =
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
       $ chips_t $ cores_t $ topo_t $ jobs_t $ per_core_t $ metrics_out_t $ trace_out_t)
 
+(* The rule-registry table behind `verify --rules help` and
+   `lint --rules help`. *)
+let print_rules () =
+  let module R = Elk_verify.Rules in
+  let t =
+    Elk_util.Table.create ~title:"verifier rules"
+      ~columns:[ "rule"; "severity"; "mode"; "summary" ]
+  in
+  List.iter
+    (fun r ->
+      Elk_util.Table.add_row t
+        [
+          r.R.id;
+          Elk_verify.Diag.severity_name r.R.default_severity;
+          (if r.R.opt_in then "opt-in" else "default");
+          r.R.summary;
+        ])
+    R.all;
+  Elk_util.Table.print t
+
 let verify_cmd =
   let module V = Elk_verify.Verify in
   let module R = Elk_verify.Rules in
-  let print_rules () =
-    let t =
-      Elk_util.Table.create ~title:"verifier rules"
-        ~columns:[ "rule"; "severity"; "summary" ]
-    in
-    List.iter
-      (fun r ->
-        Elk_util.Table.add_row t
-          [
-            r.R.id;
-            Elk_verify.Diag.severity_name r.R.default_severity;
-            r.R.summary;
-          ])
-      R.all;
-    Elk_util.Table.print t
-  in
   let run cfg scale layer_factor batch ctx prefill chips cores topology jobs design
-      plan_file strict rules json_out metrics_out trace_out =
+      plan_file strict rules error_spec json_out metrics_out trace_out =
     obs_setup ~metrics_out ~trace_out;
     set_jobs jobs;
     if rules = Some "help" then print_rules ()
@@ -664,6 +671,16 @@ let verify_cmd =
         | Some spec -> (
             match R.selection_of_string spec with
             | Ok sel -> sel
+            | Error msg ->
+                Format.eprintf "elk_cli: %s@." msg;
+                exit 2)
+      in
+      let promote =
+        match error_spec with
+        | None -> R.no_promotion
+        | Some spec -> (
+            match R.promotion_of_string spec with
+            | Ok p -> p
             | Error msg ->
                 Format.eprintf "elk_cli: %s@." msg;
                 exit 2)
@@ -695,7 +712,7 @@ let verify_cmd =
                     exit 2))
       in
       let program = Elk.Program.of_schedule sched in
-      let r = V.run ~rules:sel ~program env.D.ctx sched in
+      let r = V.run ~rules:sel ~promote ~program env.D.ctx sched in
       Format.printf "%a" V.pp_report r;
       (match json_out with
       | None -> ()
@@ -723,8 +740,16 @@ let verify_cmd =
     Arg.(value & opt (some string) None
          & info [ "rules" ]
              ~doc:
-               "Comma-separated rule ids or family prefixes (mem, dep, num, bw); \
-                prefix a token with - to suppress it.  $(b,help) lists every rule.")
+               "Comma-separated rule ids or family prefixes (mem, dep, num, bw, \
+                race, deadlock); prefix a token with - to suppress it.  \
+                $(b,help) lists every rule.")
+  in
+  let error_t =
+    Arg.(value & opt (some string) None
+         & info [ "error" ]
+             ~doc:
+               "Promote the named rules or families to error severity, so their \
+                diagnostics fail the command (exit 1).")
   in
   let json_out_t =
     Arg.(value & opt (some string) None
@@ -738,7 +763,220 @@ let verify_cmd =
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
       $ chips_t $ cores_t $ topo_t $ jobs_t $ design_t $ plan_t $ strict_t $ rules_t
-      $ json_out_t $ metrics_out_t $ trace_out_t)
+      $ error_t $ json_out_t $ metrics_out_t $ trace_out_t)
+
+let lint_cmd =
+  let module V = Elk_verify.Verify in
+  let module R = Elk_verify.Rules in
+  let module Dg = Elk_verify.Diag in
+  let module C = Elk_sim.Critpath in
+  (* Cross-validate every race diagnostic against the simulator's causal
+     event DAG: the flagged pair must be unordered there too — the
+     victim's releasing event must not reach the clobbering write.  A
+     path would mean the static happens-before DAG is weaker than the
+     device semantics the simulator implements, i.e. a false positive. *)
+  let crosscheck_races env sched (r : V.report) =
+    let is_race d = R.(match find d.Dg.rule with
+      | Some ru -> ru.family = Race
+      | None -> false)
+    in
+    let race_diags = List.filter is_race r.V.diags in
+    if race_diags = [] then begin
+      Format.printf "crosscheck: no race diagnostics to validate@.";
+      true
+    end
+    else begin
+      let res = Elk_sim.Sim.run ~events:true env.D.ctx sched in
+      match res.Elk_sim.Sim.events with
+      | None ->
+          Format.eprintf "elk_cli: simulator recorded no events@.";
+          false
+      | Some events ->
+          let find_any op kinds =
+            List.find_map (fun kind -> C.find_event events ~op ~kind) kinds
+          in
+          (* The event realizing a buffer's first write: a preload buffer
+             is written by its delivery (pure-sequencing fallbacks for
+             zero-byte preloads), an execute buffer by its distribution
+             or compute. *)
+          let writer op = function
+            | "preload" -> find_any op [ C.Preload_deliver; C.Hbm_read; C.Preload_issue ]
+            | _ -> find_any op [ C.Distribute; C.Tile_compute ]
+          in
+          (* The event realizing a buffer's last read: a preload buffer is
+             consumed by its op's distribution, an execute buffer by the
+             exchange tail. *)
+          let release op = function
+            | "preload" -> find_any op [ C.Distribute; C.Tile_compute ]
+            | _ -> find_any op [ C.Exchange; C.Tile_compute ]
+          in
+          let ok = ref true in
+          List.iter
+            (fun d ->
+              let p k = List.assoc_opt k d.Dg.payload in
+              match (p "victim_op", p "victim_kind", p "clobber_op", p "clobber_kind") with
+              | ( Some (Dg.Int vo),
+                  Some (Dg.Str vk),
+                  Some (Dg.Int co),
+                  Some (Dg.Str ck) ) -> (
+                  match (release vo vk, writer co ck) with
+                  | Some rel, Some acq ->
+                      if C.reaches events ~src:rel ~dst:acq then begin
+                        ok := false;
+                        Format.eprintf
+                          "crosscheck FAILED: %s — the simulated causal DAG \
+                           orders op %d's release before op %d's write@."
+                          d.Dg.rule vo co
+                      end
+                  | _ ->
+                      ok := false;
+                      Format.eprintf
+                        "crosscheck FAILED: no simulated events for the %s \
+                         pair (ops %d, %d)@."
+                        d.Dg.rule vo co)
+              | _ ->
+                  ok := false;
+                  Format.eprintf "crosscheck FAILED: %s carries no race payload@."
+                    d.Dg.rule)
+            race_diags;
+          if !ok then
+            Format.printf
+              "crosscheck: %d race diagnostic(s) confirmed unordered in the \
+               simulated causal DAG@."
+              (List.length race_diags);
+          !ok
+    end
+  in
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs design
+      plan_file strict rules error_spec crosscheck json_out sarif_out metrics_out
+      trace_out =
+    obs_setup ~metrics_out ~trace_out;
+    set_jobs jobs;
+    if rules = Some "help" then print_rules ()
+    else begin
+    let sel =
+      match rules with
+      | None -> R.lint_selection
+      | Some spec -> (
+          (* An explicit spec keeps lint semantics: its implicit
+             "everything" covers the opt-in families too. *)
+          match R.selection_of_string spec with
+          | Ok sel -> R.with_opt_in sel
+          | Error msg ->
+              Format.eprintf "elk_cli: %s@." msg;
+              exit 2)
+    in
+    let promote =
+      match error_spec with
+      | None -> R.no_promotion
+      | Some spec -> (
+          match R.promotion_of_string spec with
+          | Ok p -> p
+          | Error msg ->
+              Format.eprintf "elk_cli: %s@." msg;
+              exit 2)
+    in
+    let env = make_env ~chips ~cores ~topology in
+    let sched, layout =
+      match plan_file with
+      | Some path -> (
+          match Elk.Planio.load_ext env.D.ctx ~path with
+          | Ok (s, layout) -> (s, layout)
+          | Error msg ->
+              Format.eprintf "elk_cli: cannot load plan %s: %s@." path msg;
+              exit 2)
+      | None -> (
+          let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+          let saved = Elk.Compile.verifier () in
+          Elk.Compile.set_verifier None;
+          Fun.protect
+            ~finally:(fun () -> Elk.Compile.set_verifier saved)
+            (fun () ->
+              match B.plan env.D.ctx ~pod:env.D.pod g design with
+              | Some s -> (s, None)
+              | None ->
+                  Format.eprintf "elk_cli: the Ideal roofline has no schedule to lint@.";
+                  exit 2))
+    in
+    let program = Elk.Program.of_schedule sched in
+    let r = V.run ~rules:sel ~promote ?layout ~program env.D.ctx sched in
+    Format.printf "%a" V.pp_report r;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        failing_write ~what:"lint report" (fun () ->
+            let oc = open_out path in
+            output_string oc (V.report_to_json r);
+            close_out oc);
+        Format.printf "wrote report to %s@." path);
+    (match sarif_out with
+    | None -> ()
+    | Some path ->
+        failing_write ~what:"SARIF report" (fun () ->
+            let oc = open_out path in
+            output_string oc (Elk_verify.Sarif.of_report r);
+            close_out oc);
+        Format.printf "wrote SARIF to %s@." path);
+    let cross_ok = if crosscheck then crosscheck_races env sched r else true in
+    write_trace trace_out;
+    write_metrics metrics_out;
+    if not cross_ok then exit 4;
+    if V.errors r > 0 then exit 1;
+    if strict && V.warnings r > 0 then exit 3
+    end
+  in
+  let plan_t =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ]
+             ~doc:
+               "Lint a serialized plan file instead of compiling; a recorded \
+                layout section supplies the addresses for the race analysis.")
+  in
+  let strict_t =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit nonzero (3) on warnings, not only errors (1).")
+  in
+  let rules_t =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ]
+             ~doc:
+               "Comma-separated rule ids or family prefixes (mem, dep, num, bw, \
+                race, deadlock); prefix a token with - to suppress it.  \
+                $(b,help) lists every rule.")
+  in
+  let error_t =
+    Arg.(value & opt (some string) None
+         & info [ "error" ]
+             ~doc:
+               "Promote the named rules or families to error severity, so their \
+                diagnostics fail the command (exit 1).")
+  in
+  let crosscheck_t =
+    Arg.(value & flag
+         & info [ "crosscheck" ]
+             ~doc:
+               "Replay the plan in the simulator with event recording and \
+                confirm every race diagnostic is unordered in the causal event \
+                DAG too (exit 4 on disagreement).")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~doc:"Write the full diagnostic report as JSON to $(docv).")
+  in
+  let sarif_t =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~doc:"Write the report as SARIF 2.1.0 to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Whole-plan soundness lint: every verify rule plus the opt-in \
+          happens-before race analysis and the interconnect \
+          channel-dependency deadlock analysis.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ design_t $ plan_t $ strict_t $ rules_t
+      $ error_t $ crosscheck_t $ json_out_t $ sarif_t $ metrics_out_t $ trace_out_t)
 
 let serve_cmd =
   let module W = Elk_serve.Workload in
@@ -882,5 +1120,6 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            critpath_cmd; mem_cmd; trace_cmd; profile_cmd; verify_cmd; serve_cmd;
+            critpath_cmd; mem_cmd; trace_cmd; profile_cmd; verify_cmd; lint_cmd;
+            serve_cmd;
           ]))

@@ -11,6 +11,125 @@ type result = {
   contention : float;
 }
 
+(* ---- address intervals -------------------------------------------------
+
+   A placed buffer: a half-open per-core SRAM byte interval
+   [a_base, a_base + a_size) assigned to one operator's preload- or
+   execute-state footprint.  Bytes stay floats end to end so the interval
+   arithmetic is bit-compatible with the Pareto spaces the allocator
+   trades off (rounding here would make the packed extent disagree with
+   the capacity check by up to one byte per participant). *)
+
+type allocation = {
+  a_op : int;
+  a_kind : Residency.kind;
+  a_base : float;
+  a_size : float;
+}
+
+let overlaps a b =
+  (* Half-open intersection: touching intervals ([0,4) and [4,8)) do not
+     overlap.  Zero-byte buffers overlap nothing, not even themselves. *)
+  a.a_size > 0. && b.a_size > 0.
+  && a.a_base < b.a_base +. b.a_size
+  && b.a_base < a.a_base +. a.a_size
+
+(* Bump-pack a window combination: every participant is live at once
+   during the execute step, so addresses are consecutive.  The packed
+   extent is the exact float sum the greedy descent historically
+   compared against the capacity (same operands, same association
+   order), now expressed through the interval layer. *)
+let pack sized =
+  let _, placed =
+    List.fold_left
+      (fun (base, acc) (a_op, a_kind, a_size) ->
+        (base +. a_size, { a_op; a_kind; a_base = base; a_size } :: acc))
+      (0., []) sized
+  in
+  List.rev placed
+
+let extent placed =
+  List.fold_left (fun e a -> Float.max e (a.a_base +. a.a_size)) 0. placed
+
+let well_packed placed =
+  let rec go = function
+    | [] -> true
+    | a :: tl -> (not (List.exists (overlaps a) tl)) && go tl
+  in
+  go placed
+
+(* First-fit address layout over the whole schedule's buffer lifetimes.
+
+   Liveness is measured in program-instruction indices, the coordinate in
+   which the race analysis reasons: a preload buffer is live from its
+   [preload_async] to its consuming [execute] (inclusive — during the
+   distribution phase the preload bytes and the execute state coexist),
+   an execute buffer only during its own [execute] (the exchange tail is
+   part of that step).  Two buffers may share addresses only when those
+   intervals are disjoint.  Deterministic: buffers are placed in
+   ascending allocation-time order with the operator id as tie-break, and
+   each goes to the lowest base that fits. *)
+let layout_of_schedule (s : Schedule.t) =
+  let n = Schedule.num_ops s in
+  let prog = Program.of_schedule s in
+  let issue_at = Array.make n 0 and exec_at = Array.make n 0 in
+  Array.iteri
+    (fun k instr ->
+      match instr with
+      | Program.Preload_async op -> if op >= 0 && op < n then issue_at.(op) <- k
+      | Program.Execute op -> if op >= 0 && op < n then exec_at.(op) <- k)
+    prog.Program.instrs;
+  (* (live_lo, live_hi, op, kind, bytes) per nonempty buffer. *)
+  let buffers = ref [] in
+  for op = n - 1 downto 0 do
+    let e = s.Schedule.entries.(op) in
+    if e.Schedule.plan.P.exec_space > 0. then
+      buffers :=
+        (exec_at.(op), exec_at.(op), op, Residency.Exec, e.Schedule.plan.P.exec_space)
+        :: !buffers;
+    if e.Schedule.popt.P.preload_space > 0. then
+      buffers :=
+        (issue_at.(op), exec_at.(op), op, Residency.Preload, e.Schedule.popt.P.preload_space)
+        :: !buffers
+  done;
+  let buffers =
+    List.sort
+      (fun (lo1, _, op1, k1, _) (lo2, _, op2, k2, _) ->
+        compare (lo1, op1, k1) (lo2, op2, k2))
+      !buffers
+  in
+  let placed = ref [] in
+  let place (lo, hi, a_op, a_kind, a_size) =
+    let conflicts =
+      List.filter (fun (plo, phi, _) -> plo <= hi && lo <= phi) !placed
+    in
+    (* Candidate bases: 0 and the end of every conflicting interval;
+       lowest admissible wins (classic first-fit). *)
+    let fits base =
+      let cand = { a_op; a_kind; a_base = base; a_size } in
+      not (List.exists (fun (_, _, a) -> overlaps cand a) conflicts)
+    in
+    let base =
+      List.fold_left
+        (fun best (_, _, a) ->
+          let c = a.a_base +. a.a_size in
+          if c < best && fits c then c else best)
+        (if fits 0. then 0. else infinity)
+        conflicts
+    in
+    let base =
+      if Float.is_finite base then base
+      else
+        (* Every candidate collides (possible only through float
+           pathologies); fall back to stacking past the furthest end. *)
+        List.fold_left (fun e (_, _, a) -> Float.max e (a.a_base +. a.a_size)) 0. conflicts
+    in
+    placed := (lo, hi, { a_op; a_kind; a_base = base; a_size }) :: !placed
+  in
+  List.iter place buffers;
+  List.rev_map (fun (_, _, a) -> a) !placed
+  |> List.sort (fun a b -> compare (a.a_op, a.a_kind) (b.a_op, b.a_kind))
+
 (* One participant in the greedy descent: a frontier of (space, time)
    choices, currently sitting at [idx] (starting at the largest-space /
    fastest end) and able to step down to [idx - 1]. *)
@@ -63,7 +182,20 @@ let allocate_or_error ctx ~capacity ~exec_op ~window =
         window
     in
     let participants = exec_part :: List.map (fun (_, _, p) -> p) window_opts in
-    let total () = List.fold_left (fun a p -> a +. current_space p) 0. participants in
+    (* The combination's footprint, expressed as packed address
+       intervals: the execute state followed by every overlapping
+       preload.  [extent] of the bump packing is the exact same float
+       sum the previous ad-hoc accumulation produced, and [well_packed]
+       asserts the intervals the schedule would hand the race analysis
+       are disjoint by construction. *)
+    let pack_current () =
+      pack
+        ((exec_op.Graph.id, Residency.Exec, current_space exec_part)
+        :: List.map
+             (fun (id, _, p) -> (id, Residency.Preload, current_space p))
+             window_opts)
+    in
+    let total () = extent (pack_current ()) in
     let rec descend () =
       if total () <= capacity then true
       else begin
@@ -102,6 +234,7 @@ let allocate_or_error ctx ~capacity ~exec_op ~window =
       let chosen_window =
         List.map (fun (id, opts, part) -> (id, opts.(part.idx))) window_opts
       in
+      assert (well_packed (pack_current ()));
       let chip = P.ctx_chip ctx in
       let link_bw = chip.Arch.intercore_link.Arch.bandwidth in
       let cores = float_of_int chip.Arch.cores in

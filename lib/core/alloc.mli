@@ -28,6 +28,36 @@ type result = {
   contention : float;  (** interconnect contention penalty included. *)
 }
 
+(** {1 Address intervals}
+
+    The allocator's capacity reasoning, made explicit: each buffer is a
+    half-open per-core SRAM byte interval.  {!allocate_or_error} packs
+    every candidate combination through this layer (the packed extent is
+    the capacity check), and {!layout_of_schedule} assigns a concrete
+    deterministic address map to a whole schedule — the address component
+    the race analysis ({!Elk_verify}) joins with {!Residency} lifetimes
+    and the happens-before DAG. *)
+
+type allocation = {
+  a_op : int;  (** operator id owning the buffer. *)
+  a_kind : Residency.kind;  (** preload- or execute-state footprint. *)
+  a_base : float;  (** first byte of the interval. *)
+  a_size : float;  (** bytes; the interval is [a_base, a_base + a_size). *)
+}
+
+val overlaps : allocation -> allocation -> bool
+(** Half-open address-interval intersection: touching intervals
+    ([[0,4)] and [[4,8)]) do {e not} overlap, and zero-byte buffers
+    overlap nothing. *)
+
+val layout_of_schedule : Schedule.t -> allocation list
+(** Deterministic first-fit address layout over the schedule's buffer
+    lifetimes (liveness in program-instruction coordinates: a preload
+    buffer from its [preload_async] to its consuming [execute], an
+    execute buffer during its own [execute]).  Buffers whose lifetimes
+    intersect never share addresses; zero-byte footprints are omitted.
+    Result sorted by (operator, kind). *)
+
 val allocate :
   Elk_partition.Partition.ctx ->
   capacity:float ->

@@ -2,7 +2,7 @@ module P = Elk_partition.Partition
 
 let ints_csv a = String.concat "," (Array.to_list a |> List.map string_of_int)
 
-let export (s : Schedule.t) =
+let export ?layout (s : Schedule.t) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "elk-plan v1\n";
   Buffer.add_string b (Elk_model.Gtext.export s.Schedule.graph);
@@ -16,6 +16,19 @@ let export (s : Schedule.t) =
            (ints_csv e.Schedule.plan.P.factors)
            e.Schedule.popt.P.frac))
     s.Schedule.entries;
+  (* Optional recorded SRAM address layout: one line per placed buffer.
+     Bytes serialize as hex floats (%h) so the intervals round-trip
+     bit-exactly — the race analysis compares them for overlap. *)
+  (match layout with
+  | None -> ()
+  | Some allocs ->
+      List.iter
+        (fun (a : Alloc.allocation) ->
+          Buffer.add_string b
+            (Printf.sprintf "layout %d %s base=%h size=%h\n" a.Alloc.a_op
+               (Residency.kind_name a.Alloc.a_kind)
+               a.Alloc.a_base a.Alloc.a_size))
+        allocs);
   Buffer.contents b
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
@@ -24,7 +37,7 @@ let parse_int_csv s =
   try Ok (String.split_on_char ',' s |> List.map int_of_string |> Array.of_list)
   with _ -> Error (Printf.sprintf "bad integer list %S" s)
 
-let import ctx text =
+let import_ext ctx text =
   let lines = String.split_on_char '\n' text in
   match lines with
   | header :: rest when String.trim header = "elk-plan v1" ->
@@ -41,6 +54,7 @@ let import ctx text =
       let n = Elk_model.Graph.length graph in
       let order = ref None and windows = ref None in
       let factors = Array.make n None and fracs = Array.make n 1. in
+      let layout = ref [] in
       let err = ref None in
       List.iter
         (fun raw ->
@@ -70,6 +84,31 @@ let import ctx text =
                     match String.split_on_char '=' frac_attr with
                     | [ "frac"; v ] -> fracs.(id) <- float_of_string v
                     | _ -> failwith "expected frac="
+                  with e -> err := Some (Printexc.to_string e))
+              | [ "layout"; id_s; kind_s; base_attr; size_attr ] -> (
+                  try
+                    let a_op = int_of_string id_s in
+                    if a_op < 0 || a_op >= n then failwith "layout op out of range";
+                    let a_kind =
+                      match kind_s with
+                      | "preload" -> Residency.Preload
+                      | "exec" -> Residency.Exec
+                      | k -> failwith (Printf.sprintf "unknown buffer kind %S" k)
+                    in
+                    let attr name s =
+                      match String.split_on_char '=' s with
+                      | [ key; v ] when key = name -> float_of_string v
+                      | _ -> failwith (Printf.sprintf "expected %s=" name)
+                    in
+                    let a_base = attr "base" base_attr in
+                    let a_size = attr "size" size_attr in
+                    if
+                      (not (Float.is_finite a_base))
+                      || (not (Float.is_finite a_size))
+                      || a_base < 0. || a_size < 0.
+                    then failwith "layout base/size must be finite and >= 0";
+                    layout :=
+                      { Alloc.a_op; a_kind; a_base; a_size } :: !layout
                   with e -> err := Some (Printexc.to_string e))
               | _ -> err := Some (Printf.sprintf "unrecognized plan line %S" line))
         sched_lines;
@@ -107,19 +146,24 @@ let import ctx text =
       let* entries = build (n - 1) [] in
       let sched = { Schedule.graph; order; windows; entries; est_total = 0. } in
       let* () = Schedule.validate sched in
-      Ok sched
+      let layout = match !layout with [] -> None | l -> Some (List.rev l) in
+      Ok (sched, layout)
   | _ -> Error "not an elk-plan v1 document"
 
-let save ~path s =
+let import ctx text = Result.map fst (import_ext ctx text)
+
+let save ?layout ~path s =
   let oc = open_out path in
-  output_string oc (export s);
+  output_string oc (export ?layout s);
   close_out oc
 
-let load ctx ~path =
+let load_ext ctx ~path =
   try
     let ic = open_in path in
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
-    import ctx s
+    import_ext ctx s
   with Sys_error m -> Error m
+
+let load ctx ~path = Result.map fst (load_ext ctx ~path)

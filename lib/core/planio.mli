@@ -12,12 +12,31 @@
     file stays valid across cost-model retrains with the same chip, and
     the loaded schedule revalidates before use. *)
 
-val export : Schedule.t -> string
-(** Serialize a schedule (including its graph). *)
+val export : ?layout:Alloc.allocation list -> Schedule.t -> string
+(** Serialize a schedule (including its graph).  When [layout] is given,
+    the document also records the SRAM address layout — one
+    [layout <op> <kind> base=<hex float> size=<hex float>] line per
+    placed buffer, bit-exact round-trip — so downstream tools (the
+    [Elk_verify] race analysis, [elk lint]) check the {e recorded}
+    addresses instead of recomputing a self-consistent layout. *)
 
 val import :
   Elk_partition.Partition.ctx -> string -> (Schedule.t, string) result
-(** Parse, rebuild plans/options from the context, and validate. *)
+(** Parse, rebuild plans/options from the context, and validate.  Any
+    recorded layout section is accepted and dropped; use {!import_ext}
+    to receive it. *)
 
-val save : path:string -> Schedule.t -> unit
+val import_ext :
+  Elk_partition.Partition.ctx ->
+  string ->
+  (Schedule.t * Alloc.allocation list option, string) result
+(** Like {!import}, but also returns the recorded address layout when the
+    document carries one. *)
+
+val save : ?layout:Alloc.allocation list -> path:string -> Schedule.t -> unit
 val load : Elk_partition.Partition.ctx -> path:string -> (Schedule.t, string) result
+
+val load_ext :
+  Elk_partition.Partition.ctx ->
+  path:string ->
+  (Schedule.t * Alloc.allocation list option, string) result

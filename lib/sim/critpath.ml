@@ -89,6 +89,36 @@ let classify e =
           (fun (_, _, d) -> d > 0.)
           [ (Port, e.t_start, p); (Interconnect, e.t_start +. p, d -. p) ]
 
+(* Dependency-path reachability: is there a chain of gating edges from
+   [src] to [dst]?  Deps carry smaller ids than the events they gate, so
+   one forward sweep over [src..dst] settles it — the static verifier's
+   cross-check uses this to confirm that every flagged race is a pair
+   the simulated run also leaves unordered. *)
+let reaches events ~src ~dst =
+  let n = Array.length events in
+  if src < 0 || dst < 0 || src >= n || dst >= n then false
+  else if src = dst then true
+  else if src > dst then false
+  else begin
+    let reached = Array.make (dst - src + 1) false in
+    reached.(0) <- true;
+    for i = src + 1 to dst do
+      if
+        List.exists
+          (fun d -> d >= src && d < i && reached.(d - src))
+          events.(i).deps
+      then reached.(i - src) <- true
+    done;
+    reached.(dst - src)
+  end
+
+let find_event events ~op ~kind =
+  let found = ref None in
+  Array.iter
+    (fun e -> if !found = None && e.op = op && e.kind = kind then found := Some e.id)
+    events;
+  !found
+
 (* Latest-finish times over the full dependency DAG (classic CPM
    backward pass).  Deps always carry smaller ids than the events they
    gate, so reverse id order is a reverse topological order. *)

@@ -63,6 +63,15 @@ type event = {
           link/port before moving bytes). *)
 }
 
+val reaches : event array -> src:int -> dst:int -> bool
+(** Is there a chain of gating ([deps]) edges from event [src] to event
+    [dst]?  Used by the lint cross-check: a statically flagged race pair
+    must be unordered (neither reaches the other) in the recorded causal
+    DAG too. *)
+
+val find_event : event array -> op:int -> kind:kind -> int option
+(** First (lowest-id) event of [op] with the given [kind], if any. *)
+
 type resource = Hbm | Interconnect | Compute | Port | Wait
 
 val resource_name : resource -> string

@@ -23,15 +23,15 @@ type t = {
 let make ~rule ~severity ?(loc = no_loc) ?(payload = []) message =
   { rule; severity; loc; message; payload }
 
+(* Deterministic report order, independent of emission order (and hence
+   of --jobs / domain scheduling): primary key (rule, core, step), then
+   (op, severity, message) as a total tiebreak so equal-location
+   diagnostics cannot flip between runs. *)
 let order a b =
-  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
-  if c <> 0 then c
-  else
-    let c = compare a.rule b.rule in
-    if c <> 0 then c
-    else
-      let key l = (l.op, l.step, l.core) in
-      compare (key a.loc) (key b.loc)
+  let key d =
+    (d.rule, d.loc.core, d.loc.step, d.loc.op, severity_rank d.severity, d.message)
+  in
+  compare (key a) (key b)
 
 let pp_loc fmt loc =
   let part name = function

@@ -45,8 +45,10 @@ val make :
   t
 
 val order : t -> t -> int
-(** Sort key for reports: severity first (errors before warnings before
-    info), then rule id, then operator/step location. *)
+(** Deterministic sort key for reports: rule id first, then core, then
+    step, with (op, severity, message) as a total tiebreak — independent
+    of emission order, so reports are byte-identical across runs and
+    [--jobs] settings. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [error[mem.capacity] op 3 step 2: message]. *)

@@ -1,0 +1,245 @@
+(* Static happens-before DAG over a compiled plan.
+
+   Nodes are the device events the §4.5 ordering rules speak about, four
+   per operator:
+
+     Issue op  - the [preload_async(op)] call is admitted by the queue;
+     Write op  - the asynchronous SRAM delivery of op's preload bytes
+                 (in flight anywhere between Issue and Exec);
+     Exec op   - the [execute(op)] body: data distribution + tile compute;
+     Tail op   - op's exchange/reduction tail (the per-core send/recv
+                 pairings of the BSP exchange phase are contracted into
+                 this node: every core's recv waits on its ring peer's
+                 send, which waits on that peer's compute, so the whole
+                 pairing set collapses to one synchronization point at
+                 operator granularity; the deadlock analysis re-expands
+                 it to per-transfer granularity over the NoC routes).
+
+   Edges are exactly the orderings the device guarantees:
+
+     - per-core step order: every operator's core set is the prefix
+       0..cores_used-1, so each core executes its steps in execute order
+       and the per-core chains collapse to the total chain
+       Tail(i-1) -> Exec(i) (device rule 1: an execute blocks all later
+       calls);
+     - preload-order issue edges: Issue(prev) -> Issue(next) in program
+       order (rule 2: preloads run sequentially), and
+       Tail(last execute preceding the preload_async in program order)
+       -> Issue (preloads queue behind every earlier execute);
+     - Issue(op) -> Write(op): delivery cannot begin before admission;
+     - Write(op) -> Exec(op): execute(op) waits only for its own
+       preload's tag (rule 3);
+     - program dependencies: Tail(d) -> Exec(i) for every graph edge
+       d -> i.
+
+   Everything the device does NOT order is absent — in particular a
+   preload delivery Write(op) is concurrent with every execute between
+   its issue point and its consuming execute, which is precisely the
+   window the race analysis probes.
+
+   Reachability combines three labelings, cheapest first: topological
+   rank (node ids are assigned in a topological order, so rank(u) >=
+   rank(v) refutes u -> v in O(1)); DFS pre/post intervals over the
+   spanning forest of first-discovery edges (interval containment proves
+   forest paths in O(1)); and a word-packed ancestor closure built in one
+   reverse-topological sweep (O(E * V / 64)) for the residue.  Queries
+   are O(1) after the near-linear build. *)
+
+module S = Elk.Schedule
+module G = Elk_model.Graph
+
+type node = Issue of int | Write of int | Exec of int | Tail of int
+
+let node_op = function Issue op | Write op | Exec op | Tail op -> op
+
+let pp_node fmt = function
+  | Issue op -> Format.fprintf fmt "issue(%d)" op
+  | Write op -> Format.fprintf fmt "write(%d)" op
+  | Exec op -> Format.fprintf fmt "exec(%d)" op
+  | Tail op -> Format.fprintf fmt "tail(%d)" op
+
+let node_name n = Format.asprintf "%a" pp_node n
+
+type t = {
+  n_ops : int;
+  nodes : node array;  (* indexed by dense node id, in topological order *)
+  id_of : (node, int) Hashtbl.t;
+  succ : int list array;  (* out-edges, larger ids *)
+  pred : int list array;  (* in-edges, smaller ids *)
+  pre : int array;  (* DFS preorder stamp over the spanning forest *)
+  post : int array;  (* DFS postorder stamp (interval close) *)
+  closure : Bytes.t array;  (* ancestor bitset fallback, per node *)
+  mutable queries : int;
+  mutable bitset_queries : int;
+}
+
+let node_count t = Array.length t.nodes
+let edge_count t = Array.fold_left (fun a l -> a + List.length l) 0 t.succ
+
+let of_schedule (s : S.t) =
+  let n = S.num_ops s in
+  let prog = Elk.Program.of_schedule s in
+  let nodes = ref [] and count = ref 0 in
+  let id_of = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  let add_node nd =
+    Hashtbl.replace id_of nd !count;
+    nodes := nd :: !nodes;
+    incr count;
+    !count - 1
+  in
+  let add_edge u v = if u <> v then edges := (u, v) :: !edges in
+  let last_tail = ref None and last_issue = ref None in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Elk.Program.Preload_async op ->
+          let i = add_node (Issue op) in
+          let w = add_node (Write op) in
+          Option.iter (fun p -> add_edge p i) !last_issue;
+          Option.iter (fun t -> add_edge t i) !last_tail;
+          add_edge i w;
+          last_issue := Some i
+      | Elk.Program.Execute op ->
+          let e = add_node (Exec op) in
+          let t = add_node (Tail op) in
+          Option.iter (fun p -> add_edge p e) !last_tail;
+          (match Hashtbl.find_opt id_of (Write op) with
+          | Some w -> add_edge w e
+          | None -> () (* executed before issue: Program.validate flags it *));
+          List.iter
+            (fun d ->
+              match Hashtbl.find_opt id_of (Tail d) with
+              | Some td -> add_edge td e
+              | None -> () (* dep not yet executed: dep.edge-order flags it *))
+            (G.get s.S.graph op).G.deps;
+          add_edge e t;
+          last_tail := Some t)
+    prog.Elk.Program.instrs;
+  let v = !count in
+  let nodes = Array.of_list (List.rev !nodes) in
+  let succ = Array.make v [] and pred = Array.make v [] in
+  List.iter
+    (fun (u, w) ->
+      succ.(u) <- w :: succ.(u);
+      pred.(w) <- u :: pred.(w))
+    !edges;
+  Array.iteri (fun i l -> succ.(i) <- List.sort_uniq compare l) succ;
+  Array.iteri (fun i l -> pred.(i) <- List.sort_uniq compare l) pred;
+  (* Spanning-forest DFS intervals: roots in id order, children by id. *)
+  let pre = Array.make v (-1) and post = Array.make v (-1) in
+  let stamp = ref 0 in
+  let rec dfs u =
+    pre.(u) <- !stamp;
+    incr stamp;
+    List.iter (fun w -> if pre.(w) < 0 then dfs w) succ.(u);
+    post.(u) <- !stamp;
+    incr stamp
+  in
+  for u = 0 to v - 1 do
+    if pre.(u) < 0 then dfs u
+  done;
+  (* Ancestor closure, one reverse-topological sweep: node ids are a
+     topological order (every edge goes small -> large), so by the time
+     node u is processed all its successors' sets are final. *)
+  let words = (v + 7) / 8 in
+  let closure = Array.init v (fun _ -> Bytes.make words '\000') in
+  let set_bit b i =
+    Bytes.unsafe_set b (i lsr 3)
+      (Char.chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  let union dst src =
+    for k = 0 to words - 1 do
+      Bytes.unsafe_set dst k
+        (Char.chr
+           (Char.code (Bytes.unsafe_get dst k)
+           lor Char.code (Bytes.unsafe_get src k)))
+    done
+  in
+  for u = v - 1 downto 0 do
+    List.iter
+      (fun w ->
+        set_bit closure.(u) w;
+        union closure.(u) closure.(w))
+      succ.(u)
+  done;
+  {
+    n_ops = n;
+    nodes;
+    id_of;
+    succ;
+    pred;
+    pre;
+    post;
+    closure;
+    queries = 0;
+    bitset_queries = 0;
+  }
+
+let id t nd =
+  match Hashtbl.find_opt t.id_of nd with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Hb: no node %s (op out of range or never issued)"
+           (node_name nd))
+
+let mem t nd = Hashtbl.mem t.id_of nd
+
+let reaches_id t u v =
+  t.queries <- t.queries + 1;
+  if u >= v then false (* topological refutation: ids are a topo order *)
+  else if t.pre.(u) <= t.pre.(v) && t.post.(v) <= t.post.(u) then true
+    (* forest-interval confirmation *)
+  else begin
+    t.bitset_queries <- t.bitset_queries + 1;
+    Char.code (Bytes.get t.closure.(u) (v lsr 3)) land (1 lsl (v land 7)) <> 0
+  end
+
+let reaches t a b = reaches_id t (id t a) (id t b)
+let ordered t a b = reaches t a b || reaches t b a
+let query_stats t = (t.queries, t.bitset_queries)
+
+(* Shortest enabling chain ending at [nd]: BFS backward over in-edges to
+   a root (a node with no predecessors), returned root-first.  Any
+   ancestor chain of an event e automatically avoids every event that
+   does not happen-before e, so this is a valid interleaving witness for
+   "e can fire without waiting on x" whenever x does not reach e. *)
+let witness t nd =
+  let target = id t nd in
+  let parent = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.add target q;
+  Hashtbl.replace parent target (-1);
+  let root = ref None in
+  while !root = None && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if t.pred.(u) = [] then root := Some u
+    else
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem parent p) then begin
+            Hashtbl.replace parent p u;
+            Queue.add p q
+          end)
+        t.pred.(u)
+  done;
+  match !root with
+  | None -> [ t.nodes.(target) ]
+  | Some r ->
+      (* [parent] points from each discovered node toward the target, so
+         following it from the root yields the path root -> ... -> target. *)
+      let rec walk u acc =
+        let acc = t.nodes.(u) :: acc in
+        match Hashtbl.find_opt parent u with
+        | Some nxt when nxt >= 0 -> walk nxt acc
+        | _ -> List.rev acc
+      in
+      walk r []
+
+let pp_path fmt path =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt " -> ")
+    pp_node fmt path
+
+let path_name path = Format.asprintf "%a" pp_path path

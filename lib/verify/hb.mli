@@ -1,0 +1,61 @@
+(** Static happens-before DAG over a compiled plan (§4.5 device rules).
+
+    Four nodes per operator — [Issue] (the [preload_async] is admitted),
+    [Write] (the asynchronous SRAM delivery), [Exec] (distribution + tile
+    compute), [Tail] (the exchange/reduction phase; the per-core exchange
+    send/recv pairings are contracted into this node) — connected by
+    exactly the orderings the device guarantees: per-core step order
+    (which collapses to the total execute chain because every operator's
+    core set is the prefix [0..cores_used-1]), sequential preload issue,
+    preloads queuing behind every earlier execute, delivery after issue,
+    tag-wait before the consuming execute, and graph dependencies.
+
+    What the device does {e not} order is absent: a delivery [Write op]
+    is concurrent with every execute between its issue point and its
+    consuming execute — the window the race analysis probes.
+
+    Reachability is answered by layered labels built in near-linear time:
+    topological rank (ids are a topological order, refuting backward
+    queries in O(1)), DFS pre/post intervals over a spanning forest
+    (confirming forest paths in O(1)), and a packed ancestor closure for
+    the residue.  All queries are O(1) after the build. *)
+
+type node = Issue of int | Write of int | Exec of int | Tail of int
+
+val node_op : node -> int
+val pp_node : Format.formatter -> node -> unit
+val node_name : node -> string
+
+type t
+
+val of_schedule : Elk.Schedule.t -> t
+(** Build the DAG from the program the schedule lays out.  The schedule
+    must pass the verifier's basic structural gate (consistent lengths,
+    [order] a permutation); nodes referenced by an out-of-order program
+    are simply absent rather than wrongly ordered. *)
+
+val mem : t -> node -> bool
+val reaches : t -> node -> node -> bool
+(** [reaches t a b] — strict happens-before: an ordering chain of device
+    guarantees forces [a] to complete before [b] starts. *)
+
+val ordered : t -> node -> node -> bool
+(** Either direction of {!reaches}. *)
+
+val witness : t -> node -> node list
+(** Shortest enabling chain root -> ... -> node (BFS over in-edges).
+    Every element is an ancestor of [node], so the chain avoids anything
+    [node] does not happen-after — a minimal interleaving witness that
+    [node] can fire without waiting on any unordered event. *)
+
+val pp_path : Format.formatter -> node list -> unit
+(** ["issue(3) -> write(3)"]. *)
+
+val path_name : node list -> string
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val query_stats : t -> int * int
+(** (total queries, queries that fell through to the bitset closure) —
+    observability for the labeling's effectiveness. *)

@@ -1,0 +1,120 @@
+(* Buffer-reuse race detection: join the allocator's address intervals
+   with Residency-style lifetimes and demand a happens-before ordering
+   for every pair of address-overlapping buffers.
+
+   Access model per buffer:
+
+     preload buffer of op  - first access (the write): Hb.Write op, the
+                             asynchronous delivery, in flight anywhere
+                             between issue and the consuming execute;
+                             last access (the read): Hb.Exec op, the
+                             distribution phase consuming the bytes.
+     execute buffer of op  - first access (the write): Hb.Exec op, the
+                             distribution/compute writing the execute
+                             state; last access (the read): Hb.Tail op,
+                             the exchange tail reading partial results.
+
+   Two address-overlapping buffers A and B are safe iff one's last
+   access happens-before the other's first access (their occupations are
+   serialized by device guarantees).  Otherwise:
+
+     race.war - the writes are ordered, so the hazard is the later write
+                landing while the earlier buffer may still be read;
+     race.waw - even the two writes are mutually unordered.
+
+   An operator's own preload and execute buffers are exempt: the
+   distribute phase converts one into the other in place, which the
+   step-granularity model cannot order (and the allocator never overlaps
+   them anyway).
+
+   The witness in each diagnostic is the clobbering write's shortest
+   enabling chain (Hb.witness): every element is an ancestor of the
+   write, so none of it waits on the victim's unordered last access —
+   a minimal interleaving in which the write lands inside the victim's
+   live range. *)
+
+module S = Elk.Schedule
+module A = Elk.Alloc
+
+let acquire (a : A.allocation) =
+  match a.A.a_kind with
+  | Elk.Residency.Preload -> Hb.Write a.A.a_op
+  | Elk.Residency.Exec -> Hb.Exec a.A.a_op
+
+let release (a : A.allocation) =
+  match a.A.a_kind with
+  | Elk.Residency.Preload -> Hb.Exec a.A.a_op
+  | Elk.Residency.Exec -> Hb.Tail a.A.a_op
+
+let buffer_label (a : A.allocation) =
+  Printf.sprintf "%s buffer of op %d [%.0f, %.0f)"
+    (Elk.Residency.kind_name a.A.a_kind)
+    a.A.a_op a.A.a_base (a.A.a_base +. a.A.a_size)
+
+let check ~emit ~on ~(hb : Hb.t) ~(layout : A.allocation list) (_s : S.t) =
+  (* Only buffers whose four events all exist can be judged; a plan whose
+     program never issues or executes an operator is flagged by the dep
+     family instead. *)
+  let judgeable a = Hb.mem hb (acquire a) && Hb.mem hb (release a) in
+  let allocs =
+    layout
+    |> List.filter (fun a -> a.A.a_size > 0. && judgeable a)
+    |> List.sort (fun a b ->
+           compare (a.A.a_base, a.A.a_op, a.A.a_kind) (b.A.a_base, b.A.a_op, b.A.a_kind))
+    |> Array.of_list
+  in
+  let m = Array.length allocs in
+  for i = 0 to m - 1 do
+    let a = allocs.(i) in
+    let j = ref (i + 1) in
+    (* Sorted by base: every candidate overlapping a starts before a's
+       end, so the inner scan stops at the first non-overlapping base. *)
+    while !j < m && allocs.(!j).A.a_base < a.A.a_base +. a.A.a_size do
+      let b = allocs.(!j) in
+      incr j;
+      if b.A.a_op <> a.A.a_op && A.overlaps a b then begin
+        let safe =
+          Hb.reaches hb (release a) (acquire b)
+          || Hb.reaches hb (release b) (acquire a)
+        in
+        if not safe then begin
+          let writes_ordered = Hb.ordered hb (acquire a) (acquire b) in
+          let rule = if writes_ordered then "race.war" else "race.waw" in
+          if on rule then begin
+            (* Present the pair as victim (whose live range is entered)
+               and clobberer (whose write is unordered with the victim's
+               last access); when even the writes are unordered the
+               choice is conventional — lower op id is the victim. *)
+            let victim, clobber =
+              if writes_ordered then
+                if Hb.reaches hb (acquire a) (acquire b) then (a, b) else (b, a)
+              else if a.A.a_op < b.A.a_op then (a, b)
+              else (b, a)
+            in
+            let path = Hb.witness hb (acquire clobber) in
+            emit rule
+              (Diag.at_op clobber.A.a_op)
+              [
+                ("victim_op", Diag.Int victim.A.a_op);
+                ("victim_kind", Diag.Str (Elk.Residency.kind_name victim.A.a_kind));
+                ("clobber_op", Diag.Int clobber.A.a_op);
+                ("clobber_kind", Diag.Str (Elk.Residency.kind_name clobber.A.a_kind));
+                ("base", Diag.Num (Float.max a.A.a_base b.A.a_base));
+                ( "overlap_bytes",
+                  Diag.Num
+                    (Float.min (a.A.a_base +. a.A.a_size) (b.A.a_base +. b.A.a_size)
+                    -. Float.max a.A.a_base b.A.a_base) );
+              ]
+              (Printf.sprintf
+                 "%s overlaps %s but %s and %s are unordered in the \
+                  happens-before DAG; witness: %s can fire while %s is live"
+                 (buffer_label clobber) (buffer_label victim)
+                 (Hb.node_name (acquire clobber))
+                 (Hb.node_name (release victim))
+                 (Hb.path_name path)
+                 (buffer_label victim))
+          end
+        end
+      end
+    done
+  done

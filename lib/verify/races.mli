@@ -1,0 +1,26 @@
+(** Buffer-reuse race detection over address intervals × happens-before.
+
+    Joins the allocator's address layout ({!Elk.Alloc.allocation}) with
+    buffer lifetimes and the {!Hb} DAG: every pair of address-overlapping
+    buffers of distinct operators must have one buffer's last access
+    happen-before the other's first access.  Unordered pairs are reported
+    as [race.war] (writes ordered, the later write can land inside the
+    earlier buffer's live range) or [race.waw] (even the writes are
+    mutually unordered), each with a minimal witness path — the
+    clobbering write's shortest enabling chain, none of which waits on
+    the victim. *)
+
+val check :
+  emit:
+    (string ->
+    Diag.location ->
+    (string * Diag.value) list ->
+    string ->
+    unit) ->
+  on:(string -> bool) ->
+  hb:Hb.t ->
+  layout:Elk.Alloc.allocation list ->
+  Elk.Schedule.t ->
+  unit
+(** [check ~emit ~on ~hb ~layout s] emits one diagnostic per racing pair
+    via [emit rule loc payload message]; [on] gates each rule id. *)

@@ -1,0 +1,74 @@
+(* SARIF 2.1.0 serialization of a verification report.
+
+   Deliberately minimal and deterministic: the rules array lists the
+   rules that were checked (registry order), results follow the report's
+   Diag.order, and all text comes from the diagnostics themselves — no
+   timestamps, hostnames, or absolute paths, so the output of two runs
+   over the same plan is byte-identical and snapshot-friendly. *)
+
+module J = Elk_obs.Jsonx
+
+let level_of = function
+  | Diag.Error -> "error"
+  | Diag.Warning -> "warning"
+  | Diag.Info -> "note"
+
+let rule_json id =
+  match Rules.find id with
+  | None ->
+      Printf.sprintf "{\"id\":%s}" (J.quote id)
+  | Some r ->
+      Printf.sprintf
+        "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+        (J.quote r.Rules.id)
+        (J.quote r.Rules.summary)
+        (J.quote (level_of r.Rules.default_severity))
+
+let logical_location (loc : Diag.location) =
+  let parts =
+    List.filter_map
+      (fun (name, v) ->
+        Option.map (fun v -> Printf.sprintf "%s %d" name v) v)
+      [ ("op", loc.Diag.op); ("step", loc.Diag.step); ("core", loc.Diag.core) ]
+  in
+  match parts with
+  | [] -> None
+  | parts ->
+      Some
+        (Printf.sprintf
+           "{\"logicalLocations\":[{\"name\":%s,\"kind\":\"element\"}]}"
+           (J.quote (String.concat " " parts)))
+
+let value_json = function
+  | Diag.Num f -> J.number f
+  | Diag.Int i -> string_of_int i
+  | Diag.Str s -> J.quote s
+
+let result_json (d : Diag.t) =
+  let locations =
+    match logical_location d.Diag.loc with
+    | None -> ""
+    | Some l -> Printf.sprintf ",\"locations\":[%s]" l
+  in
+  let properties =
+    match d.Diag.payload with
+    | [] -> ""
+    | payload ->
+        Printf.sprintf ",\"properties\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s:%s" (J.quote k) (value_json v))
+                payload))
+  in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s}%s%s}"
+    (J.quote d.Diag.rule)
+    (J.quote (level_of d.Diag.severity))
+    (J.quote d.Diag.message) locations properties
+
+let of_report (r : Verify.report) =
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"elk-lint\",\"rules\":[%s]}},\"properties\":{\"model\":%s,\"ops\":%d},\"results\":[%s]}]}"
+    (String.concat "," (List.map rule_json r.Verify.rules_checked))
+    (J.quote r.Verify.model) r.Verify.n_ops
+    (String.concat "," (List.map result_json r.Verify.diags))

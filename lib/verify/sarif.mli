@@ -1,0 +1,11 @@
+(** SARIF 2.1.0 serialization of a {!Verify.report} ([elk lint --sarif]).
+
+    One run, one driver ([elk-lint]); the [rules] array carries the
+    checked rules in registry order with their summaries and default
+    levels, each diagnostic becomes a [result] with a logical location
+    (["op 3 step 2"]) and the machine payload under [properties].
+    Deterministic by construction — no timestamps or absolute paths —
+    so equal reports serialize byte-identically (snapshots can be
+    compared with [cmp]). *)
+
+val of_report : Verify.report -> string

@@ -39,8 +39,10 @@ let metric_of_rule id =
   ^ "_total"
 
 (* One analysis = one closure per rule family; [emit] appends a diagnostic
-   under the rule's registered severity. *)
-let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
+   under the rule's registered severity (raised to Error when the rule is
+   promoted, so error counting and exit codes follow). *)
+let run ?(rules = Rules.default_selection) ?(promote = Rules.no_promotion)
+    ?layout ?program ctx (s : S.t) =
   let n = S.num_ops s in
   let graph = s.S.graph in
   let chip = P.ctx_chip ctx in
@@ -48,7 +50,10 @@ let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
   let acc = ref [] in
   let on id = Rules.enabled rules id in
   let emit id ?loc ?payload msg =
-    acc := Diag.make ~rule:id ~severity:(severity_of id) ?loc ?payload msg :: !acc
+    let severity =
+      if Rules.promoted promote id then Diag.Error else severity_of id
+    in
+    acc := Diag.make ~rule:id ~severity ?loc ?payload msg :: !acc
   in
 
   (* --- Structural gate: replay-based analyses need a well-formed
@@ -432,6 +437,33 @@ let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
           ~payload:[ ("suppressed", Diag.Int extra) ]
           (Printf.sprintf "%d more windows exceed the %.0fx roofline slack" extra
              window_slack)
+    end;
+
+    (* --- race.* / deadlock.*: the opt-in lint layer.  Both analyses
+       interpret the device program, so they require a stream that the
+       device would accept — invalid streams are already the
+       dep.program-stream finding. --- *)
+    let lint_wanted =
+      on "race.war" || on "race.waw" || on "deadlock.cycle"
+      || on "deadlock.self-loop"
+    in
+    if lint_wanted && Elk.Program.validate (Elk.Program.of_schedule s) ~n = Ok ()
+    then begin
+      let emit_lint id loc payload msg = emit id ~loc ~payload msg in
+      if on "race.war" || on "race.waw" then begin
+        let hb = Hb.of_schedule s in
+        (* A recomputed layout is self-consistent with the schedule it
+           came from; race findings need the plan's *recorded* layout
+           (e.g. from a serialized plan whose ordering was edited). *)
+        let layout =
+          match layout with
+          | Some l -> l
+          | None -> Elk.Alloc.layout_of_schedule s
+        in
+        Races.check ~emit:emit_lint ~on ~hb ~layout s
+      end;
+      if on "deadlock.cycle" || on "deadlock.self-loop" then
+        Deadlock.check ~emit:emit_lint ~on (Elk_noc.Noc.create chip) s
     end
   end;
 
@@ -446,7 +478,12 @@ let run ?(rules = Rules.default_selection) ?program ctx (s : S.t) =
   { model = G.name graph; n_ops = n; rules_checked = Rules.enabled_ids rules; diags }
 
 let check ctx sched prog =
-  let r = run ~program:prog ctx sched in
+  let rules =
+    (* ELK_LINT arms the opt-in race/deadlock families at compile time. *)
+    if Sys.getenv_opt "ELK_LINT" <> None then Rules.lint_selection
+    else Rules.default_selection
+  in
+  let r = run ~rules ~program:prog ctx sched in
   List.iter
     (fun d ->
       if d.Diag.severity = Diag.Warning then

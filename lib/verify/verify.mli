@@ -1,7 +1,7 @@
 (** The static schedule/plan verifier: Elk's compiled artifacts proved
     safe before they are emitted.
 
-    {!run} executes four families of static analyses over a compiled
+    {!run} executes six families of static analyses over a compiled
     {!Elk.Schedule.t} (and optionally its device {!Elk.Program.t}):
 
     - {b memory safety} — replays the preload windows step by step and
@@ -19,7 +19,17 @@
     - {b bandwidth feasibility} — the claimed makespan must be above the
       HBM-device and controller-injection rooflines of the plan's total
       traffic; per-window pressure ratios are reported as info-level
-      lints.
+      lints;
+    - {b reuse races} (opt-in) — joins the allocator's address layout
+      with buffer lifetimes and the happens-before DAG ({!Hb}, {!Races})
+      to flag address-overlapping buffers whose accesses are unordered;
+    - {b interconnect deadlock} (opt-in) — channel-dependency-graph
+      cycle analysis of the distribution/exchange transfers over the
+      {!Elk_noc} routes ({!Deadlock}).
+
+    The opt-in families run under {!Rules.lint_selection} (the [elk
+    lint] subcommand), when named explicitly in a rule spec, or at
+    compile time when the [ELK_LINT] environment variable is set.
 
     Diagnostics cite rules from {!Rules.all}; severities follow the
     registry.  Every diagnostic increments [elk_verify_diags_total] and a
@@ -42,6 +52,8 @@ val infos : report -> int
 
 val run :
   ?rules:Rules.selection ->
+  ?promote:Rules.promotion ->
+  ?layout:Elk.Alloc.allocation list ->
   ?program:Elk.Program.t ->
   Elk_partition.Partition.ctx ->
   Elk.Schedule.t ->
@@ -51,16 +63,24 @@ val run :
     the structural failure itself is reported as
     [dep.schedule-structure].  [program] defaults to regenerating one
     from the schedule; pass the artifact's own program to also check
-    mutual consistency ([dep.program-consistency]). *)
+    mutual consistency ([dep.program-consistency]).  [promote] raises
+    the named rules/families to error severity at emission time.
+    [layout] is the plan's recorded address layout for the race
+    analysis; it defaults to recomputing one from the schedule (which is
+    self-consistent by construction — real race findings come from
+    serialized plans whose recorded layout went stale against an edited
+    ordering). *)
 
 val check :
   Elk_partition.Partition.ctx ->
   Elk.Schedule.t ->
   Elk.Program.t ->
   (unit, string) result
-(** The {!Elk.Compile.verifier}: runs {!run} with every rule enabled,
-    logs warnings via {!Elk_obs.Logger}, and returns [Error] summarizing
-    the error-severity diagnostics (if any). *)
+(** The {!Elk.Compile.verifier}: runs {!run} with every non-opt-in rule
+    enabled ({!Rules.lint_selection} instead when the [ELK_LINT]
+    environment variable is set), logs warnings via {!Elk_obs.Logger},
+    and returns [Error] summarizing the error-severity diagnostics (if
+    any). *)
 
 val install : unit -> unit
 (** [Elk.Compile.set_verifier (Some check)] — performed automatically at

@@ -34,7 +34,7 @@ Unknown rule tokens are rejected with the valid ids.
   $ ../../bin/elk_cli.exe verify --rules help | awk '{print $1}' | head -9
   ==
   rule
-  -----------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------
+  -------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------
   mem.capacity
   mem.overcommit
   mem.double-preload

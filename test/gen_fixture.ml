@@ -1,0 +1,89 @@
+(* Generate the known-bad plan fixture for the lint tests.
+
+   Compiles the default CLI configuration (llama2-13b decode, scale 8,
+   batch 32, 4 chips), records the address layout the allocator actually
+   assigned, then deletes an ordering edge the layout relied on: one
+   late preload issue is moved into the first window, so its delivery
+   becomes concurrent with every execute in between while its recorded
+   address interval still reuses SRAM that is live there.  The exported
+   plan carries the stale layout section; `elk lint --plan` must flag
+   the races.
+
+   Usage: gen_fixture.exe <output-path>
+
+   The mutation searches windows from the back and keeps the first
+   candidate whose mutated plan re-imports cleanly and yields at least
+   one race diagnostic, so the fixture stays valid across cost-model
+   retrains (which may reshape the windows). *)
+
+module S = Elk.Schedule
+module R = Elk_verify.Rules
+module V = Elk_verify.Verify
+module D = Elk_dse.Dse
+
+let is_race d =
+  match R.find d.Elk_verify.Diag.rule with
+  | Some r -> r.R.family = R.Race
+  | None -> false
+
+(* Move the last op of window [w]'s run to the end of window 1's run. *)
+let mutate (s : S.t) ~w =
+  let order = Array.copy s.S.order and windows = Array.copy s.S.windows in
+  let start = ref 0 in
+  for i = 0 to w - 1 do
+    start := !start + windows.(i)
+  done;
+  let p = !start + windows.(w) - 1 in
+  let q = windows.(0) + windows.(1) in
+  let b = order.(p) in
+  for i = p downto q + 1 do
+    order.(i) <- order.(i - 1)
+  done;
+  order.(q) <- b;
+  windows.(1) <- windows.(1) + 1;
+  windows.(w) <- windows.(w) - 1;
+  { s with S.order; S.windows }
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else (
+      prerr_endline "usage: gen_fixture.exe <output-path>";
+      exit 2)
+  in
+  let env = D.env ~chips:4 ~cores:64 ~topology:`All_to_all () in
+  let cfg = Elk_model.Zoo.scale Elk_model.Zoo.llama2_13b ~factor:8 ~layer_factor:10 in
+  let g = Elk_model.Zoo.build cfg (Elk_model.Zoo.Decode { batch = 32; ctx = 256 }) in
+  let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
+  let s = c.Elk.Compile.schedule in
+  let layout = Elk.Alloc.layout_of_schedule s in
+  let n = S.num_ops s in
+  let found = ref false in
+  let w = ref n in
+  while (not !found) && !w >= 2 do
+    if s.S.windows.(!w) > 0 then begin
+      let text = Elk.Planio.export ~layout (mutate s ~w:!w) in
+      match Elk.Planio.import_ext env.D.ctx text with
+      | Error _ -> ()
+      | Ok (s2, lay) ->
+          let layout2 = Option.value lay ~default:[] in
+          let r =
+            V.run ~rules:R.lint_selection ~layout:layout2
+              ~program:(Elk.Program.of_schedule s2) env.D.ctx s2
+          in
+          let races = List.filter is_race r.V.diags in
+          if races <> [] then begin
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote racy fixture to %s (window %d, %d race(s))\n"
+              path !w (List.length races);
+            found := true
+          end
+    end;
+    decr w
+  done;
+  if not !found then begin
+    prerr_endline "gen_fixture: no window mutation produced a race";
+    exit 1
+  end

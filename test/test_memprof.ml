@@ -169,6 +169,145 @@ let test_alloc_ok_roundtrip () =
       Alcotest.(check bool) "wrapper agrees" true
         (Elk.Alloc.allocate (ctx ()) ~capacity:cap ~exec_op ~window:[] <> None)
 
+(* -- Address intervals: Alloc.overlaps half-open semantics. -- *)
+
+let mk_alloc ?(op = 0) ?(kind = Rd.Preload) base size =
+  { Elk.Alloc.a_op = op; a_kind = kind; a_base = base; a_size = size }
+
+let test_overlaps_half_open () =
+  let ov a b = Elk.Alloc.overlaps a b in
+  Alcotest.(check bool) "touching [0,4)/[4,8)" false
+    (ov (mk_alloc 0. 4.) (mk_alloc 4. 4.));
+  Alcotest.(check bool) "touching, swapped" false
+    (ov (mk_alloc 4. 4.) (mk_alloc 0. 4.));
+  Alcotest.(check bool) "zero-size at the boundary" false
+    (ov (mk_alloc 4. 0.) (mk_alloc 0. 4.));
+  Alcotest.(check bool) "zero-size inside a live interval" false
+    (ov (mk_alloc 0. 4.) (mk_alloc 2. 0.));
+  Alcotest.(check bool) "two zero-size at the same base" false
+    (ov (mk_alloc 1. 0.) (mk_alloc 1. 0.));
+  Alcotest.(check bool) "partial overlap" true
+    (ov (mk_alloc 0. 100.) (mk_alloc 50. 100.));
+  Alcotest.(check bool) "containment" true
+    (ov (mk_alloc 0. 100.) (mk_alloc 25. 10.));
+  Alcotest.(check bool) "identical intervals" true
+    (ov (mk_alloc 8. 8.) (mk_alloc 8. 8.));
+  Alcotest.(check bool) "one byte past the seam" true
+    (ov (mk_alloc 0. 5.) (mk_alloc 4. 4.))
+
+(* -- Residency ledger edge cases. -- *)
+
+(* Zero-byte buffers: an operator whose preload option carries no bytes
+   contributes neither a ledger row nor an address interval, and its HBM
+   row records zero moves. *)
+let test_residency_zero_byte () =
+  let s = sched () in
+  let entries = Array.copy s.Elk.Schedule.entries in
+  let victim = 1 in
+  let e = entries.(victim) in
+  entries.(victim) <-
+    {
+      e with
+      Elk.Schedule.popt =
+        {
+          e.Elk.Schedule.popt with
+          P.preload_space = 0.;
+          hbm_device_bytes = 0.;
+          noc_inject_bytes = 0.;
+        };
+    };
+  let s' = { s with Elk.Schedule.entries = entries } in
+  (match Elk.Schedule.validate s' with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "mutated schedule invalid: %s" m);
+  let ledger = Rd.of_schedule ~capacity:(capacity ()) ~cores:(cores ()) s' in
+  Alcotest.(check bool) "no preload ledger row" false
+    (List.exists
+       (fun b -> b.Rd.op = victim && b.Rd.kind = Rd.Preload)
+       ledger.Rd.buffers);
+  let h = List.find (fun h -> h.Rd.h_op = victim) ledger.Rd.hbm in
+  Alcotest.(check int) "zero HBM moves" 0 h.Rd.h_moves;
+  Tu.check_float "zero HBM bytes" 0. h.Rd.h_bytes;
+  let layout = Elk.Alloc.layout_of_schedule s' in
+  Alcotest.(check bool) "no address interval" false
+    (List.exists
+       (fun a -> a.Elk.Alloc.a_op = victim && a.Elk.Alloc.a_kind = Rd.Preload)
+       layout)
+
+(* A preload issued in the window that overlaps the previous operator's
+   execution is consumed the moment it lands: allocation, first use, last
+   use and free step all coincide, and the HBM reuse distance collapses
+   to zero. *)
+let test_residency_freed_at_alloc () =
+  let s = sched () in
+  let n = Elk.Schedule.num_ops s in
+  let victim = ref (-1) in
+  for op = 1 to n - 1 do
+    if s.Elk.Schedule.entries.(op).Elk.Schedule.popt.P.preload_space > 0. then
+      victim := op
+  done;
+  if !victim < 0 then Alcotest.fail "schedule has no late preload buffer";
+  let v = !victim in
+  let order =
+    Array.of_list (List.filter (fun id -> id <> v) (List.init n Fun.id) @ [ v ])
+  in
+  let windows = Array.make (n + 1) 0 in
+  windows.(0) <- n - 1;
+  windows.(v) <- windows.(v) + 1;
+  let s' = { s with Elk.Schedule.order = order; windows } in
+  (match Elk.Schedule.validate s' with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "reordered schedule invalid: %s" m);
+  let ledger = Rd.of_schedule ~capacity:(capacity ()) ~cores:(cores ()) s' in
+  let b =
+    List.find (fun b -> b.Rd.op = v && b.Rd.kind = Rd.Preload) ledger.Rd.buffers
+  in
+  Alcotest.(check int) "allocated at its own step" v b.Rd.alloc_step;
+  Alcotest.(check int) "freed at the allocation step" b.Rd.alloc_step
+    b.Rd.free_step;
+  Alcotest.(check int) "first use = last use" b.Rd.first_use b.Rd.last_use;
+  let h = List.find (fun h -> h.Rd.h_op = v) ledger.Rd.hbm in
+  Alcotest.(check int) "zero reuse distance" 0 h.Rd.h_reuse_distance
+
+(* Execute footprints live through the exchange tail: the static ledger
+   frees them at their own step (never at the compute end), and the
+   dynamic record releases them at the exchange end — the post-use waste
+   integral spans exactly that tail. *)
+let test_residency_exchange_tail () =
+  let s = sched () in
+  let ledger = Rd.of_schedule ~capacity:(capacity ()) ~cores:(cores ()) s in
+  List.iter
+    (fun b ->
+      if b.Rd.kind = Rd.Exec then begin
+        Alcotest.(check int) "freed at its own step" b.Rd.op b.Rd.free_step;
+        Alcotest.(check int) "last use = free step" b.Rd.last_use b.Rd.free_step
+      end)
+    ledger.Rd.buffers;
+  let m = Option.get (Lazy.force result).Elk_sim.Sim.mem in
+  let tail_op = ref (-1) in
+  for op = 0 to Mt.num_ops m - 1 do
+    let om = Mt.op_mem m op in
+    if
+      !tail_op < 0
+      && om.Mt.m_exec_bytes > 0.
+      && om.Mt.m_release > om.Mt.m_tail_start +. 1e-9
+    then tail_op := op
+  done;
+  if !tail_op < 0 then Alcotest.fail "no operator with an exchange tail";
+  let op = !tail_op in
+  let om = Mt.op_mem m op in
+  let rel =
+    Array.to_list (Mt.samples m)
+    |> List.find (fun sm -> sm.Mt.s_op = op && sm.Mt.s_change = Mt.Release)
+  in
+  Tu.check_close ~eps:1e-9 "released at the exchange end, not compute end"
+    om.Mt.m_release rel.Mt.s_t;
+  Tu.check_close ~eps:1e-3 "post-use waste spans exactly the tail"
+    (om.Mt.m_exec_bytes
+    *. float_of_int om.Mt.m_exec_cores
+    *. (om.Mt.m_release -. om.Mt.m_tail_start))
+    (Mt.post_use_waste m op)
+
 let suite =
   [
     Alcotest.test_case "mem recording off by default" `Quick test_off_by_default;
@@ -197,4 +336,12 @@ let suite =
       test_alloc_error_diagnosis;
     Alcotest.test_case "allocate wrapper round-trips success" `Quick
       test_alloc_ok_roundtrip;
+    Alcotest.test_case "address-interval overlap is half-open" `Quick
+      test_overlaps_half_open;
+    Alcotest.test_case "zero-byte buffers leave no residency trace" `Quick
+      test_residency_zero_byte;
+    Alcotest.test_case "preload freed at its allocation step" `Quick
+      test_residency_freed_at_alloc;
+    Alcotest.test_case "execute footprint lives through the exchange tail"
+      `Quick test_residency_exchange_tail;
   ]
