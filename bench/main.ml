@@ -931,12 +931,21 @@ let attrib () =
    machine-dependent, so CI diffs this file non-blocking (unlike
    BENCH_attrib.json); the [plan_identical] flags, however, must stay
    true — they re-check the determinism contract of the parallel search
-   on the benchmark workloads themselves. *)
+   on the benchmark workloads themselves.
+
+   A second section measures the steady-state serving recompile: the
+   ctx-bucket ladder a batching front-end walks as contexts grow,
+   compiled cold (empty cache) and then warm (compile cache on).  Warm
+   compiles are whole-plan hits and must be byte-identical to cold. *)
 let compile_bench () =
   let max_orders = 24 in
   (* Counters (orders pruned/tried) only record while obs is on. *)
   let was_enabled = Elk_obs.Control.is_enabled () in
   Elk_obs.Control.enable ();
+  (* The jobs comparison times full searches; a cache hit on the second
+     jobs level would make it vacuous. *)
+  let was_cache = Elk.Compilecache.enabled () in
+  Elk.Compilecache.set_enabled false;
   (* A 10% margin is enough to show the branch-and-bound bounds firing on
      these workloads (the conservative 25% default prunes nothing here)
      while keeping every near-winner in the race. *)
@@ -1009,14 +1018,72 @@ let compile_bench () =
         [ ("a2a", `All_to_all); ("mesh", `Mesh) ])
     [ llama13b; gemma27b ];
   Elk_util.Pool.set_jobs 1;
-  if not was_enabled then Elk_obs.Control.disable ();
   Table.print t;
+  (* ---- steady-state serving recompiles: cold vs warm ------------- *)
+  Elk.Compilecache.set_enabled true;
+  let lt =
+    Table.create
+      ~title:
+        "Steady-state recompile: serving ctx-bucket ladder, cold vs warm (compile cache)"
+      ~columns:[ "Model"; "Topology"; "ctx"; "cold (s)"; "warm (s)"; "speedup"; "identical" ]
+  in
+  let ladder = ref [] in
+  let buckets = [ 64; 128; 192; 256 ] in
+  List.iter
+    (fun (tname, topology) ->
+      let env = D.env ~topology () in
+      let compile g = Elk.Compile.compile ~options:opts env.D.ctx ~pod:env.D.pod g in
+      Elk.Compilecache.reset ();
+      let pass () =
+        List.map
+          (fun ctx -> (ctx, compile (Zoo.build llama13b (Zoo.Decode { batch = 8; ctx }))))
+          buckets
+      in
+      (* Cold pass: empty cache.  Later buckets still reuse the earlier
+         buckets' partition memos and clean scheduler suffixes — exactly
+         what a serving session sees as contexts grow. *)
+      let cold = pass () in
+      let resumes = (Elk.Compilecache.stats ()).Elk.Compilecache.sched_resumes in
+      (* Warm pass: every bucket is a whole-plan hit. *)
+      let warm = pass () in
+      List.iter2
+        (fun (ctx, (co : Elk.Compile.t)) (_, (wa : Elk.Compile.t)) ->
+          let identical =
+            Elk.Planio.export co.Elk.Compile.schedule
+            = Elk.Planio.export wa.Elk.Compile.schedule
+          in
+          let speedup =
+            co.Elk.Compile.compile_seconds
+            /. Float.max 1e-9 wa.Elk.Compile.compile_seconds
+          in
+          Table.add_row lt
+            [ llama13b.Zoo.cfg_name; tname; string_of_int ctx;
+              Printf.sprintf "%.3f" co.Elk.Compile.compile_seconds;
+              Printf.sprintf "%.6f" wa.Elk.Compile.compile_seconds;
+              Printf.sprintf "%.0fx" speedup;
+              (if identical then "yes" else "NO") ];
+          ladder :=
+            Printf.sprintf
+              "{\"model\":%S,\"topology\":%S,\"ctx\":%d,\"cold_s\":%.4f,\
+               \"warm_s\":%.6f,\"speedup\":%.1f,\"sched_resumes\":%d,\
+               \"plan_identical\":%b}"
+              llama13b.Zoo.cfg_name tname ctx co.Elk.Compile.compile_seconds
+              wa.Elk.Compile.compile_seconds speedup resumes identical
+            :: !ladder)
+        cold warm)
+    [ ("a2a", `All_to_all); ("mesh", `Mesh) ];
+  Elk.Compilecache.reset ();
+  Elk.Compilecache.set_enabled was_cache;
+  if not was_enabled then Elk_obs.Control.disable ();
+  Table.print lt;
   let json =
     Printf.sprintf
-      "{\"max_orders\":%d,\"jobs_levels\":[1,4],\n\"runs\":[\n%s\n],\n\"speedups\":[\n%s\n]}\n"
+      "{\"max_orders\":%d,\"jobs_levels\":[1,4],\n\"runs\":[\n%s\n],\n\
+       \"speedups\":[\n%s\n],\n\"serving_ladder\":[\n%s\n]}\n"
       max_orders
       (String.concat ",\n" (List.rev !rows))
       (String.concat ",\n" (List.rev !speedups))
+      (String.concat ",\n" (List.rev !ladder))
   in
   let oc = open_out "BENCH_compile.json" in
   output_string oc json;
@@ -1191,6 +1258,10 @@ let micro () =
   let capacity = Elk_arch.Arch.usable_sram_per_core env.D.pod.Elk_arch.Arch.chip in
   let cost = P.ctx_cost env.D.ctx in
   let sched = lazy (Elk.Scheduler.run env.D.ctx g) in
+  (* Fresh contexts here measure cold enumeration; shared memo tables
+     would hand them the warm results and time a hash lookup instead. *)
+  let was_sharing = P.memo_sharing () in
+  P.set_memo_sharing false;
   let fresh_ctx () = P.make_ctx cost in
   let tests =
     [
@@ -1237,6 +1308,8 @@ let micro () =
         (Staged.stage (fun () -> Elk.Fusion.fuse (decode llama13b ~batch:32)));
       Test.make ~name:"serve:plan-export"
         (Staged.stage (fun () -> Elk.Planio.export (Lazy.force sched)));
+      Test.make ~name:"cache:graph-digest"
+        (Staged.stage (fun () -> Elk.Compilecache.graph_digest g));
     ]
   in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
@@ -1261,7 +1334,8 @@ let micro () =
           Table.add_row t [ name; Format.asprintf "%a" Units.pp_time (est *. 1e-9) ]
       | _ -> Table.add_row t [ name; "n/a" ])
     (List.sort compare rows);
-  Table.print t
+  Table.print t;
+  P.set_memo_sharing was_sharing
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)

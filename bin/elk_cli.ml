@@ -85,6 +85,18 @@ let jobs_t =
 
 let set_jobs jobs = Option.iter Elk_util.Pool.set_jobs jobs
 
+let no_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-compile-cache" ]
+        ~doc:
+          "Disable the cross-compile incremental cache (whole-plan, \
+           candidate-order, scheduler-suffix and partition memos).  \
+           Equivalent to setting $(b,ELK_COMPILE_CACHE=0) in the \
+           environment; compiled plans are byte-identical either way.")
+
+let set_cache no_cache = if no_cache then Elk.Compilecache.set_enabled false
+
 (* ---- observability export flags (shared by compile/compare/report/profile) *)
 
 let metrics_out_t =
@@ -159,10 +171,11 @@ let info_cmd =
     Term.(const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t)
 
 let compile_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs trace
-      codegen_dir save_plan metrics_out trace_out =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs no_cache
+      trace codegen_dir save_plan metrics_out trace_out =
     obs_setup ~metrics_out ~trace_out;
     set_jobs jobs;
+    set_cache no_cache;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let c = Elk.Compile.compile env.D.ctx ~pod:env.D.pod g in
@@ -212,14 +225,15 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model with Elk and print the plan summary.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ jobs_t $ trace_t $ codegen_t $ save_plan_t
-      $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ no_cache_t $ trace_t $ codegen_t
+      $ save_plan_t $ metrics_out_t $ trace_out_t)
 
 let compare_cmd =
-  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs metrics_out
-      trace_out =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology jobs no_cache
+      metrics_out trace_out =
     obs_setup ~metrics_out ~trace_out;
     set_jobs jobs;
+    set_cache no_cache;
     let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
     let env = make_env ~chips ~cores ~topology in
     let t =
@@ -245,7 +259,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Evaluate all designs on one model with the simulator.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
-      $ chips_t $ cores_t $ topo_t $ jobs_t $ metrics_out_t $ trace_out_t)
+      $ chips_t $ cores_t $ topo_t $ jobs_t $ no_cache_t $ metrics_out_t $ trace_out_t)
 
 let program_cmd =
   let run cfg scale layer_factor batch ctx prefill chips cores topology design limit =
@@ -981,10 +995,11 @@ let lint_cmd =
 let serve_cmd =
   let module W = Elk_serve.Workload in
   let module F = Elk_serve.Frontend in
-  let run cfg scale layer_factor chips cores topology jobs design workload rate
-      requests seed prompt output max_batch slo_ttft slo_itl window mem json_out
-      metrics_out trace_out =
+  let run cfg scale layer_factor chips cores topology jobs no_cache design workload
+      rate requests seed prompt output max_batch plan_cache_cap slo_ttft slo_itl
+      window mem json_out metrics_out trace_out =
     set_jobs jobs;
+    set_cache no_cache;
     obs_setup ~metrics_out ~trace_out;
     let cfg =
       if scale <= 1 then cfg
@@ -1001,7 +1016,7 @@ let serve_cmd =
           | None -> invalid_arg (Printf.sprintf "unknown workload %S" workload)
         in
         let reqs = W.generate ~seed ~n:requests spec in
-        let result = F.run ~design ?jobs ~max_batch env cfg reqs in
+        let result = F.run ~design ?jobs ~max_batch ~plan_cache_cap env cfg reqs in
         Ok
           ( result,
             Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~mem ~workload
@@ -1064,6 +1079,14 @@ let serve_cmd =
   let max_batch_t =
     Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Largest batch the front-end forms.")
   in
+  let plan_cache_cap_t =
+    Arg.(
+      value & opt int 512
+      & info [ "plan-cache-cap" ]
+          ~doc:
+            "Largest number of padded shapes the front-end plan cache keeps \
+             (LRU eviction beyond it).")
+  in
   let slo_ttft_t =
     Arg.(
       value
@@ -1109,9 +1132,10 @@ let serve_cmd =
           queue depth over time.")
     Term.(
       const run $ model_t $ scale_t $ layer_factor_t $ chips_t $ cores_t
-      $ topo_t $ jobs_t $ design_t $ workload_t $ rate_t $ requests_t $ seed_t
-      $ prompt_t $ output_t $ max_batch_t $ slo_ttft_t $ slo_itl_t $ window_t
-      $ mem_t $ json_out_t $ metrics_out_t $ trace_out_t)
+      $ topo_t $ jobs_t $ no_cache_t $ design_t $ workload_t $ rate_t
+      $ requests_t $ seed_t $ prompt_t $ output_t $ max_batch_t
+      $ plan_cache_cap_t $ slo_ttft_t $ slo_itl_t $ window_t $ mem_t
+      $ json_out_t $ metrics_out_t $ trace_out_t)
 
 let () =
   let doc = "Elk: a DL compiler for inter-core connected AI chips with HBM." in

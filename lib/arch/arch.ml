@@ -80,6 +80,41 @@ let with_cores c ~cores ~hbm_bw_per_core =
   in
   { c with cores; topology; hbm_bandwidth = hbm_bw_per_core *. float_of_int cores }
 
+(* Canonical digest of every field.  Floats are rendered as hex ("%h"),
+   so two chips fingerprint equal iff they are bit-for-bit the same
+   configuration — the property the cross-compile caches key on. *)
+let fingerprint c =
+  let b = Buffer.create 160 in
+  let f v = Buffer.add_string b (Printf.sprintf "%h;" v) in
+  let i v =
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ';'
+  in
+  i c.cores;
+  f c.sram_per_core;
+  f c.net_buffer_per_core;
+  f c.freq_hz;
+  f c.matmul_flops_per_core;
+  f c.vector_flops_per_core;
+  f c.sram_bw_per_core;
+  (match c.topology with
+  | All_to_all -> Buffer.add_string b "a2a;"
+  | Mesh2d { rows; cols } ->
+      Buffer.add_string b "mesh;";
+      i rows;
+      i cols
+  | Clustered { clusters; cluster_size; l2_bandwidth } ->
+      Buffer.add_string b "clu;";
+      i clusters;
+      i cluster_size;
+      f l2_bandwidth);
+  f c.intercore_link.latency;
+  f c.intercore_link.bandwidth;
+  i c.hbm_controllers;
+  f c.hbm_bandwidth;
+  f c.hbm_latency;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp_topology fmt = function
   | All_to_all -> Format.pp_print_string fmt "all-to-all"
   | Mesh2d { rows; cols } -> Format.fprintf fmt "mesh %dx%d" rows cols

@@ -85,6 +85,11 @@ val with_cores : chip -> cores:int -> hbm_bw_per_core:float -> chip
 (** Resize a chip, keeping per-core rates and re-deriving mesh dimensions
     and HBM bandwidth ([cores * hbm_bw_per_core], Fig 23's scaling rule). *)
 
+val fingerprint : chip -> string
+(** Collision-safe digest of every chip field (floats rendered bit-exact).
+    Two chips fingerprint equal iff they describe the same hardware — the
+    architecture component of the cross-compile cache keys. *)
+
 val pp_chip : Format.formatter -> chip -> unit
 val pp_pod : Format.formatter -> pod -> unit
 

@@ -43,11 +43,127 @@ let the_verifier : verifier option ref = ref None
 let set_verifier v = the_verifier := v
 let verifier () = !the_verifier
 
+(* Whole-plan cache.  The key digests everything a compile depends on —
+   the partition-context fingerprint (chip + cost-model behavior), every
+   option field, the pod, and the full input graph content (names
+   included, since they flow into the exported plan).  A warm hit
+   therefore returns a value from an earlier compile of the {e same}
+   inputs: byte-identical by construction.  Disk entries (when
+   ELK_COMPILE_CACHE_DIR is set) persist the schedule across processes;
+   cheap derived pieces (timeline, program, all-reduce) are recomputed on
+   load and the plan re-passes the verifier gate before being trusted. *)
+let plan_store : (string, t) Compilecache.Lru.t = Compilecache.Lru.create ~cap:512 ()
+let () = Compilecache.on_reset (fun () -> Compilecache.Lru.clear plan_store)
+
+let options_sig o =
+  String.concat ","
+    [
+      string_of_bool o.reorder;
+      string_of_int o.max_orders;
+      string_of_int o.max_edit_distance;
+      string_of_int o.max_preload;
+      string_of_bool o.fuse;
+      Printf.sprintf "%h" o.prune_margin;
+    ]
+
+let pod_sig (pod : Elk_arch.Arch.pod) =
+  String.concat ","
+    [
+      string_of_int pod.Elk_arch.Arch.chips;
+      Printf.sprintf "%h" pod.Elk_arch.Arch.interchip_bandwidth;
+      Elk_arch.Arch.fingerprint pod.Elk_arch.Arch.chip;
+    ]
+
+(* What a disk entry holds: the (possibly fused) source graph, the
+   schedule (which embeds the chip graph), and the search effort spent
+   producing it. *)
+type disk_entry = Elk_model.Graph.t * Schedule.t * int
+
+let probe_cache ~key ~pod ~t0 ctx graph =
+  Span.with_span "compile.cache" (fun () ->
+      match Compilecache.Lru.find plan_store key with
+      | Some t ->
+          (* Re-run the verifier gate: a cold compile of these inputs
+             would produce this exact plan and gate it, and the installed
+             verifier may have changed since the entry was written. *)
+          (match !the_verifier with
+          | None -> ()
+          | Some verify -> (
+              match verify ctx t.schedule t.program with
+              | Ok () -> ()
+              | Error msg ->
+                  Elk_obs.Logger.error ~src:"compile"
+                    ~kvs:[ ("model", Elk_model.Graph.name graph) ]
+                    ("plan rejected by verifier: " ^ msg);
+                  raise (Rejected msg)));
+          Compilecache.note_plan_hit ();
+          Some { t with pod; compile_seconds = Unix.gettimeofday () -. t0 }
+      | None -> (
+          match (Compilecache.disk_find ~key : disk_entry option) with
+          | None -> None
+          | Some (g, schedule, orders_tried) -> (
+              let chip_graph = schedule.Schedule.graph in
+              let t =
+                {
+                  pod;
+                  graph = g;
+                  chip_graph;
+                  schedule;
+                  timeline = Timeline.evaluate ctx schedule;
+                  program = Program.of_schedule schedule;
+                  allreduce = Sharding.allreduce_time pod chip_graph;
+                  orders_tried;
+                  compile_seconds = Unix.gettimeofday () -. t0;
+                }
+              in
+              (* A disk entry that no longer satisfies the verifier (e.g.
+                 written by a different build) degrades to a miss — the
+                 cold path recompiles from scratch. *)
+              let ok =
+                match !the_verifier with
+                | None -> true
+                | Some verify -> (
+                    match verify ctx t.schedule t.program with
+                    | Ok () -> true
+                    | Error msg ->
+                        Elk_obs.Logger.warn ~src:"compile"
+                          ~kvs:[ ("model", Elk_model.Graph.name graph) ]
+                          ("discarding on-disk cached plan: " ^ msg);
+                        false)
+              in
+              if not ok then None
+              else begin
+                Compilecache.note_plan_hit ();
+                Compilecache.note_disk_hit ();
+                Compilecache.Lru.put plan_store key t;
+                Some t
+              end)))
+
 let compile ?(options = default_options) ctx ~pod graph =
   Span.with_span "compile"
     ~attrs:[ ("model", Elk_model.Graph.name graph) ]
     (fun () ->
       let t0 = Unix.gettimeofday () in
+      let key =
+        if Compilecache.enabled () then
+          Some
+            (Compilecache.digest_strings
+               [
+                 Elk_partition.Partition.fingerprint ctx;
+                 options_sig options;
+                 pod_sig pod;
+                 Compilecache.graph_digest graph;
+               ])
+        else None
+      in
+      match Option.bind key (fun key -> probe_cache ~key ~pod ~t0 ctx graph) with
+      | Some t ->
+          Elk_obs.Logger.debug ~src:"compile"
+            ~kvs:[ ("model", Elk_model.Graph.name graph) ]
+            "compile cache hit";
+          t
+      | None ->
+      Option.iter (fun _ -> Compilecache.note_plan_miss ()) key;
       let graph =
         if options.fuse then Span.with_span "fuse" (fun () -> Fusion.fuse graph)
         else graph
@@ -209,6 +325,11 @@ let compile ?(options = default_options) ctx ~pod graph =
                 ~kvs:[ ("model", Elk_model.Graph.name graph) ]
                 ("plan rejected by verifier: " ^ msg);
               raise (Rejected msg)));
+      (match key with
+      | Some key ->
+          Compilecache.Lru.put plan_store key t;
+          Compilecache.disk_store ~key ((t.graph, t.schedule, t.orders_tried) : disk_entry)
+      | None -> ());
       Elk_obs.Logger.info ~src:"compile"
         ~kvs:
           [

@@ -76,7 +76,18 @@ val compile :
     [ELK_JOBS]); the returned plan is byte-identical whatever the jobs
     count — ties between equal-makespan orders always resolve to the
     lowest candidate index, and pruning uses bounds that cannot exclude
-    a winner. *)
+    a winner.
+
+    While {!Compilecache.enabled}, compiles are served from a whole-plan
+    cache keyed by a digest of (context fingerprint, options, pod, full
+    graph content): a warm compile of identical inputs returns the
+    previously computed plan — byte-identical by construction — in
+    [O(digest)] time, and an on-disk store ([ELK_COMPILE_CACHE_DIR])
+    extends this across processes.  Cache misses additionally benefit
+    from the {!Reorder} memo and the {!Scheduler} suffix-resume memo.
+    Disable with [--no-compile-cache], [ELK_COMPILE_CACHE=0], or
+    {!Compilecache.set_enabled}[ false] to recover the exact uncached
+    pipeline. *)
 
 val latency : t -> float
 (** End-to-end forward latency: on-chip makespan + inter-chip

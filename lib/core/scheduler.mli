@@ -52,7 +52,15 @@ val run :
     a later step budgeted for.  Overflows that persist even with minimal
     options (an operator bigger than the chip) are tolerated, as before,
     and charged as contention downstream; [Elk_verify] reports them as
-    [mem.overcommit] warnings. *)
+    [mem.overcommit] warnings.
+
+    While {!Compilecache.enabled}, completed inductions record a
+    suffix-resume memo keyed by (context fingerprint, graph name, order,
+    [max_preload]): a later run whose trailing operators are unchanged
+    (same per-node digests) restores their decisions and re-enters the
+    induction at the last dirty operator, skipping the allocator sweeps
+    of the clean suffix.  Resumed runs return schedules — and [Pruned]
+    outcomes — identical to a cold induction. *)
 
 val preload_numbers : Schedule.t -> int array
 (** Per-operator preload numbers ([windows] shifted to operator ids):

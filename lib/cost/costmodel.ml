@@ -132,6 +132,38 @@ let hbm_time t ~bytes =
     in
     bytes /. bw
 
+(* Behavioral fingerprint of a trained model: the chip digest plus
+   bit-exact ("%h") predictions on a fixed probe set per kind, fixed
+   transfer routes, and fixed HBM read sizes.  Two models fingerprint
+   equal iff they answer every probe identically — retraining with a
+   different seed or sample count changes the fitted trees and therefore
+   the digest, which is what invalidates cross-compile cache entries. *)
+let exec_probes =
+  [
+    [| 2; 16 |]; [| 7; 96 |]; [| 48; 640 |]; [| 5; 33; 130 |]; [| 3; 17; 65; 257 |];
+  ]
+
+let fingerprint t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Arch.fingerprint t.cm_chip);
+  List.iter
+    (fun (kind, _) ->
+      Buffer.add_char b '|';
+      Buffer.add_string b kind;
+      List.iter
+        (fun iter ->
+          Buffer.add_string b (Printf.sprintf ":%h" (predict_exec t ~kind ~iter)))
+        exec_probes)
+    t.exec_trees;
+  List.iter
+    (fun (hops, bytes) ->
+      Buffer.add_string b (Printf.sprintf "|t:%h" (predict_transfer t ~hops ~bytes)))
+    [ (1, 4096.); (2, 65536.); (3, 1048576.) ];
+  List.iter
+    (fun bytes -> Buffer.add_string b (Printf.sprintf "|h:%h" (hbm_time t ~bytes)))
+    [ 4096.; 1048576.; 268435456. ];
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let exec_accuracy ?(seed = 7) t ~kind ~n =
   let rng = Xrng.create seed in
   List.init n (fun _ ->

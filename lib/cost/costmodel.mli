@@ -18,6 +18,13 @@ val train :
 val chip : t -> Elk_arch.Arch.chip
 val kinds : t -> string list
 
+val fingerprint : t -> string
+(** Behavioral digest of the trained model: the chip's
+    {!Elk_arch.Arch.fingerprint} plus bit-exact predictions on a fixed
+    probe set (per-kind execution times, transfer routes, HBM reads).
+    Retraining with different data changes the digest — the cost-model
+    component of the cross-compile cache keys. *)
+
 val features : kind:string -> iter:int array -> float array
 (** Feature vector used by the per-kind trees: up to 4 leading tile
     extents, total points, FLOPs and SRAM bytes. *)

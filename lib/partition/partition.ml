@@ -33,20 +33,122 @@ type ctx = {
   chip : Arch.chip;
   cost : Elk_cost.Costmodel.t;
   max_plans : int;
+  fp : string;  (* digest of (chip, cost model, max_plans). *)
   lock : Mutex.t;  (* guards [memo] and [popt_memo]; see [memo_find]. *)
   memo : (string, memo_entry) Hashtbl.t;
   popt_memo : (string, preload_opt list) Hashtbl.t;
 }
 
+(* Cross-compile memo sharing: contexts built from behaviorally identical
+   cost models (same chip, same training) index the same memo tables, so
+   a serving loop that rebuilds a context per recompile — or a bench that
+   builds a fresh env per run — still reuses every enumeration and
+   preload frontier already computed.  Sharing is sound because memo
+   values are pure functions of (key, fingerprint) and keys are canonical
+   digests.  Disable with [ELK_COMPILE_CACHE=0] or {!set_memo_sharing}
+   (fresh private tables per context, the pre-cache behavior). *)
+let sharing =
+  ref (match Sys.getenv_opt "ELK_COMPILE_CACHE" with Some "0" -> false | _ -> true)
+
+let set_memo_sharing v = sharing := v
+let memo_sharing () = !sharing
+
+type shared_store = {
+  s_lock : Mutex.t;
+  s_memo : (string, memo_entry) Hashtbl.t;
+  s_popt : (string, preload_opt list) Hashtbl.t;
+  mutable s_stamp : int;
+}
+
+let registry_lock = Mutex.create ()
+let registry : (string, shared_store) Hashtbl.t = Hashtbl.create 8
+let registry_tick = ref 0
+let registry_cap = 8
+
+let reset_shared_memos () =
+  Mutex.lock registry_lock;
+  (* Clear tables in place, not just the registry: live contexts keep
+     references to their shared store and must also go cold. *)
+  Hashtbl.iter
+    (fun _ s ->
+      Mutex.lock s.s_lock;
+      Hashtbl.reset s.s_memo;
+      Hashtbl.reset s.s_popt;
+      Mutex.unlock s.s_lock)
+    registry;
+  Hashtbl.reset registry;
+  Mutex.unlock registry_lock
+
+let shared_store_count () =
+  Mutex.lock registry_lock;
+  let n = Hashtbl.length registry in
+  Mutex.unlock registry_lock;
+  n
+
 let make_ctx ?(max_plans_per_op = 512) cost =
+  let chip = Elk_cost.Costmodel.chip cost in
+  let fp =
+    Digest.to_hex
+      (Digest.string
+         (Arch.fingerprint chip ^ "|"
+         ^ Elk_cost.Costmodel.fingerprint cost
+         ^ "|" ^ string_of_int max_plans_per_op))
+  in
+  let fresh () =
+    { s_lock = Mutex.create (); s_memo = Hashtbl.create 64;
+      s_popt = Hashtbl.create 256; s_stamp = 0 }
+  in
+  let store =
+    if not (memo_sharing ()) then fresh ()
+    else begin
+      Mutex.lock registry_lock;
+      incr registry_tick;
+      let s =
+        match Hashtbl.find_opt registry fp with
+        | Some s -> s
+        | None ->
+            (* Keep the registry small: evict the least-recently-used
+               fingerprint (an abandoned chip/cost configuration) once
+               over capacity. *)
+            if Hashtbl.length registry >= registry_cap then begin
+              let victim =
+                Hashtbl.fold
+                  (fun k s acc ->
+                    match acc with
+                    | Some (_, st) when st <= s.s_stamp -> acc
+                    | _ -> Some (k, s.s_stamp))
+                  registry None
+              in
+              match victim with
+              | Some (k, _) -> Hashtbl.remove registry k
+              | None -> ()
+            end;
+            let s = fresh () in
+            Hashtbl.add registry fp s;
+            s
+      in
+      s.s_stamp <- !registry_tick;
+      Mutex.unlock registry_lock;
+      s
+    end
+  in
   {
-    chip = Elk_cost.Costmodel.chip cost;
+    chip;
     cost;
     max_plans = max_plans_per_op;
-    lock = Mutex.create ();
-    memo = Hashtbl.create 64;
-    popt_memo = Hashtbl.create 256;
+    fp;
+    lock = store.s_lock;
+    memo = store.s_memo;
+    popt_memo = store.s_popt;
   }
+
+let fingerprint ctx = ctx.fp
+
+let memo_sizes ctx =
+  Mutex.lock ctx.lock;
+  let sizes = (Hashtbl.length ctx.memo, Hashtbl.length ctx.popt_memo) in
+  Mutex.unlock ctx.lock;
+  sizes
 
 (* Memo tables are shared across the scheduler domains of the parallel
    order search, so every access is serialized under [ctx.lock].  The
@@ -78,20 +180,45 @@ let memo_find ctx tbl key compute =
 let ctx_chip ctx = ctx.chip
 let ctx_cost ctx = ctx.cost
 
+(* Collision-safe memo key: a digest over a length-prefixed canonical
+   encoding of every field partitioning depends on.  Length prefixes make
+   separator injection impossible (the old "|"/";"-joined concatenation
+   could in principle conflate crafted shapes), and [flops_per_point] is
+   included because it changes execution-time estimates even when the
+   shape is identical. *)
 let plan_signature (op : Opspec.t) =
-  let tensor_sig (t : Opspec.tensor) =
-    Printf.sprintf "(%s:%s)"
-      (String.concat "," (List.map string_of_int t.Opspec.dims))
-      (match t.Opspec.source with
-      | Opspec.Weights -> "w"
-      | Opspec.Kv_cache -> "kv"
-      | Opspec.Activation -> "a")
+  let b = Buffer.create 128 in
+  let str s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
   in
-  Printf.sprintf "%s|%s|%s|%s|%s" op.Opspec.kind
-    (String.concat "x" (Array.to_list op.Opspec.iter |> List.map string_of_int))
-    (String.concat ";" (List.map tensor_sig op.Opspec.inputs))
-    (tensor_sig op.Opspec.output)
-    (Dtype.to_string op.Opspec.dtype)
+  let ints l =
+    Buffer.add_string b (string_of_int (List.length l));
+    Buffer.add_char b '#';
+    List.iter
+      (fun v ->
+        Buffer.add_string b (string_of_int v);
+        Buffer.add_char b ',')
+      l
+  in
+  let tensor (t : Opspec.tensor) =
+    ints t.Opspec.dims;
+    Buffer.add_char b
+      (match t.Opspec.source with
+      | Opspec.Weights -> 'w'
+      | Opspec.Kv_cache -> 'k'
+      | Opspec.Activation -> 'a')
+  in
+  str op.Opspec.kind;
+  ints (Array.to_list op.Opspec.iter);
+  Buffer.add_string b (string_of_int (List.length op.Opspec.inputs));
+  Buffer.add_char b '!';
+  List.iter tensor op.Opspec.inputs;
+  tensor op.Opspec.output;
+  Buffer.add_string b (Printf.sprintf "%h" op.Opspec.flops_per_point);
+  str (Dtype.to_string op.Opspec.dtype);
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 let ceil_div a b = (a + b - 1) / b
 

@@ -33,6 +33,31 @@ val make_ctx : ?max_plans_per_op:int -> Elk_cost.Costmodel.t -> ctx
 val ctx_chip : ctx -> Elk_arch.Arch.chip
 val ctx_cost : ctx -> Elk_cost.Costmodel.t
 
+val fingerprint : ctx -> string
+(** Digest of (chip, cost-model behavior, [max_plans_per_op]) — the
+    context component of every cross-compile cache key.  Two contexts
+    with equal fingerprints produce identical enumeration, frontier and
+    preload-option results for every operator. *)
+
+val set_memo_sharing : bool -> unit
+(** Enable/disable cross-context memo sharing (default on unless
+    [ELK_COMPILE_CACHE=0]).  When on, {!make_ctx} calls with equal
+    fingerprints return contexts backed by the same memo tables, so
+    enumeration work persists across compiles.  When off, every context
+    gets fresh private tables. *)
+
+val memo_sharing : unit -> bool
+
+val reset_shared_memos : unit -> unit
+(** Drop every shared memo table (tests and cold-start benchmarks). *)
+
+val shared_store_count : unit -> int
+(** Number of distinct fingerprints currently holding shared tables. *)
+
+val memo_sizes : ctx -> int * int
+(** [(enumeration entries, preload-option entries)] currently memoized in
+    this context's tables — observability for cache-hit accounting. *)
+
 type plan = {
   factors : int array;  (** parts per iteration dimension. *)
   tile : int array;  (** per-core tile extents, ceil-divided. *)
@@ -118,7 +143,10 @@ val inject_rate : Elk_arch.Arch.chip -> float
     [preload_len], exposed for bandwidth-feasibility lints. *)
 
 val plan_signature : Elk_tensor.Opspec.t -> string
-(** Memoization key: kind, iteration extents and input sharing structure
-    (operators from identical layers share a signature). *)
+(** Memoization key: a collision-safe digest of kind, iteration extents,
+    input sharing structure, per-point FLOPs and dtype — every field
+    partitioning depends on, length-prefixed so distinct operators cannot
+    collide by separator injection.  Operators from identical layers
+    share a signature. *)
 
 val pp_plan : Format.formatter -> plan -> unit

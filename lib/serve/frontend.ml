@@ -55,6 +55,8 @@ type result = {
   makespan : float;  (* completion of the last batch *)
   distinct_shapes : int;  (* plan-cache misses: Serve runs actually computed *)
   recompilations : int;  (* decode plans compiled across all misses *)
+  plan_cache_size : int;  (* shapes resident in the plan cache at the end *)
+  plan_cache_evictions : int;  (* shapes evicted by the LRU cap *)
 }
 
 let round_up v quantum = (v + quantum - 1) / quantum * quantum
@@ -66,9 +68,11 @@ let next_pow2 n =
 let token_quantum = 16
 
 let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
-    ?(max_batch = 8) env cfg requests =
+    ?(max_batch = 8) ?(plan_cache_cap = 512) env cfg requests =
   if requests = [] then invalid_arg "Frontend.run: no requests";
   if max_batch <= 0 then invalid_arg "Frontend.run: max_batch must be positive";
+  if plan_cache_cap <= 0 then
+    invalid_arg "Frontend.run: plan_cache_cap must be positive";
   let rec sorted = function
     | a :: (b :: _ as rest) ->
         a.Workload.arrival_s <= b.Workload.arrival_s && sorted rest
@@ -77,19 +81,43 @@ let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
   if not (sorted requests) then
     invalid_arg "Frontend.run: requests must be in arrival order";
   Option.iter Elk_util.Pool.set_jobs jobs;
-  (* Serve runs memoized per padded shape: the deployment's plan cache. *)
-  let cache : (int * int * int, Serve.run) Hashtbl.t = Hashtbl.create 8 in
+  (* Serve runs memoized per padded shape: the deployment's plan cache.
+     Bounded — a long-tailed workload must not hold every shape it ever
+     saw — with least-recently-used eviction on insert; an evicted shape
+     that recurs is recompiled and counted as a fresh miss. *)
+  let cache : (int * int * int, Serve.run * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let tick = ref 0 and evictions = ref 0 in
   let misses = ref 0 and recompiles = ref 0 in
   let serve_for ~bucket ~prompt_ctx ~tokens =
     let key = (bucket, prompt_ctx, tokens) in
+    incr tick;
     match Hashtbl.find_opt cache key with
-    | Some r -> (r, 0)
+    | Some (r, stamp) ->
+        stamp := !tick;
+        (r, 0)
     | None ->
         let r =
           Serve.serve ~design ~recompile_every ~prefill:true ?elk_options env cfg
             ~batch:bucket ~prompt_ctx ~tokens
         in
-        Hashtbl.add cache key r;
+        if Hashtbl.length cache >= plan_cache_cap then begin
+          let victim =
+            Hashtbl.fold
+              (fun k (_, stamp) acc ->
+                match acc with
+                | Some (_, s) when s <= !stamp -> acc
+                | _ -> Some (k, !stamp))
+              cache None
+          in
+          match victim with
+          | Some (k, _) ->
+              Hashtbl.remove cache k;
+              incr evictions;
+              Elk_obs.Metrics.incr "elk_serve_plan_evictions_total"
+                ~help:"Padded shapes evicted from the serving plan cache"
+          | None -> ()
+        end;
+        Hashtbl.add cache key (r, ref !tick);
         incr misses;
         recompiles := !recompiles + r.Serve.recompilations;
         (r, r.Serve.recompilations)
@@ -182,12 +210,16 @@ let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
     ~help:"Batches formed by the serving front-end";
   Elk_obs.Metrics.set "elk_frontend_plan_cache_misses" (float_of_int !misses)
     ~help:"Distinct padded shapes the serving front-end compiled plans for";
+  Elk_obs.Metrics.set "elk_frontend_plan_cache_size" (float_of_int (Hashtbl.length cache))
+    ~help:"Padded shapes resident in the serving plan cache";
   {
     requests = requests';
     batches;
     makespan;
     distinct_shapes = !misses;
     recompilations = !recompiles;
+    plan_cache_size = Hashtbl.length cache;
+    plan_cache_evictions = !evictions;
   }
 
 (* ---- per-request derived metrics ------------------------------------- *)

@@ -42,6 +42,8 @@ type result = {
   makespan : float;  (** completion time of the last batch *)
   distinct_shapes : int;  (** plan-cache misses: Serve runs actually computed *)
   recompilations : int;  (** decode plans compiled across all misses *)
+  plan_cache_size : int;  (** shapes resident in the plan cache at the end *)
+  plan_cache_evictions : int;  (** shapes evicted by the LRU cap *)
 }
 
 val run :
@@ -50,6 +52,7 @@ val run :
   ?elk_options:Elk.Compile.options ->
   ?jobs:int ->
   ?max_batch:int ->
+  ?plan_cache_cap:int ->
   Elk_dse.Dse.env ->
   Elk_model.Zoo.config ->
   Workload.request list ->
@@ -58,8 +61,11 @@ val run :
     size; batches pad to the next power of two, prompts to the plan
     quantum ([recompile_every], default 64), token counts to a multiple
     of 16, and identical padded shapes reuse one {!Serve.serve} run.
+    The shape memo is bounded by [plan_cache_cap] (default 512) with
+    least-recently-used eviction ([elk_serve_plan_evictions_total]
+    counts evictions); an evicted shape that recurs is recompiled.
     Raises [Invalid_argument] on an empty or out-of-order request list
-    or nonpositive [max_batch]. *)
+    or nonpositive [max_batch] / [plan_cache_cap]. *)
 
 val queue_wait : req_trace -> float
 (** Arrival to batch admission. *)

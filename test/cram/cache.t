@@ -1,0 +1,51 @@
+The compile cache is a pure accelerator: a warm compile — whether served
+from the in-process stores or the on-disk store — emits a plan byte
+identical to a cold one, and disabling the cache reproduces the same
+bytes through the uncached pipeline.  Wall-clock compile time varies, so
+drop it.
+
+A cold compile populates the on-disk store named by ELK_COMPILE_CACHE_DIR.
+(Pin the cache on: CI re-runs the suite with ELK_COMPILE_CACHE=0.)
+
+  $ export ELK_COMPILE_CACHE=1
+  $ export ELK_COMPILE_CACHE_DIR=$PWD/plancache
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 \
+  >   --save-plan plan-cold.json | sed '/compile time/d'
+  model: dit-xl/8x10 on pod{4 x chip{64 cores, 98.30KB SRAM/core, all-to-all, link 5.50GB/s, HBM 173.91GB/s}, inter-chip 27.83GB/s}
+  latency: 116.133us (on-chip 84.337us + all-reduce 31.795us)
+  preload=209.5ns exec=79.260us overlap=4.868us interconnect=0.0ns
+  hbm util: 2.6%  noc util: 24.5%  tflops: 2.02
+  saved plan to plan-cold.json
+
+  $ ls plancache | sed 's/elk-plan-[0-9a-f]*/elk-plan-<digest>/'
+  elk-plan-<digest>.cache
+
+A second process compiles warm from disk; the plan is byte-identical.
+
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 \
+  >   --save-plan plan-warm.json > /dev/null
+  $ cmp plan-cold.json plan-warm.json && echo identical
+  identical
+
+--no-compile-cache bypasses every cache layer and still produces the
+same bytes.
+
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 --no-compile-cache \
+  >   --save-plan plan-off.json > /dev/null
+  $ cmp plan-cold.json plan-off.json && echo identical
+  identical
+
+So does the ELK_COMPILE_CACHE=0 environment escape hatch.
+
+  $ ELK_COMPILE_CACHE=0 ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 \
+  >   --save-plan plan-env.json > /dev/null
+  $ cmp plan-cold.json plan-env.json && echo identical
+  identical
+
+A corrupt disk entry reads as a miss, never an error.
+
+  $ for f in plancache/*.cache; do echo garbage > "$f"; done
+  $ ../../bin/elk_cli.exe compile -m dit-xl --scale 8 -b 2 \
+  >   --save-plan plan-recold.json > /dev/null
+  $ cmp plan-cold.json plan-recold.json && echo identical
+  identical

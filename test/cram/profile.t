@@ -1,12 +1,16 @@
 The profile subcommand aggregates compiler spans into a per-phase table.
 Wall-clock durations vary run to run, so keep only the first column
-(phase / counter names) and squeeze the separator rule.
+(phase / counter names) and squeeze the separator rule.  The compile
+cache contributes a span and counters, so pin it on regardless of the
+ambient ELK_COMPILE_CACHE (CI re-runs the suite with it set to 0).
 
+  $ export ELK_COMPILE_CACHE=1
   $ ../../bin/elk_cli.exe profile -m dit-xl --scale 8 -b 2 | awk '{print $1}' | tr -s '-'
   ==
   phase
   -
   compile
+  compile.cache
   shard
   order-gen
   schedule
@@ -16,6 +20,7 @@ Wall-clock durations vary run to run, so keep only the first column
   ==
   counter
   -
+  elk_compile_cache_misses_total
   elk_compile_orders_tried_total
   elk_scheduler_runs_total
   elk_compile_orders_pruned_total

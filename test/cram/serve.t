@@ -7,6 +7,7 @@ number is simulated, so the report is fully deterministic.
   >   --slo-ttft 0.01 --slo-itl 0.001
   serving SLO report: poisson workload, seed 42
     8 requests in 5 batches over 0.005 s simulated (3 shapes compiled, 6 plan compiles)
+    plan cache: 3 shapes resident, 0 evicted
     throughput 11768.6 tok/s, goodput 92.6% (63 useful / 5 padded)
   
   == latency ==

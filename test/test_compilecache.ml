@@ -1,0 +1,231 @@
+(* Warm/cold determinism of the incremental compile cache: whole-plan
+   hits, suffix-resumed inductions, reorder memo hits, the on-disk store
+   and the disabled path must all produce plans byte-identical to a cold
+   compile — the cache is a pure accelerator, never a semantic change. *)
+
+open Elk_model
+
+let options = { Elk.Compile.default_options with max_orders = 8 }
+
+let export (c : Elk.Compile.t) = Elk.Planio.export c.Elk.Compile.schedule
+let compile ?(options = options) ctx ~pod g = Elk.Compile.compile ~options ctx ~pod g
+
+(* Run [f] against a freshly reset, enabled cache; restore the previous
+   enablement (and a cold cache) afterwards so other suites are
+   unaffected whatever order Alcotest runs them in. *)
+let with_fresh_cache f =
+  let was = Elk.Compilecache.enabled () in
+  Elk.Compilecache.set_enabled true;
+  Elk.Compilecache.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Elk.Compilecache.reset ();
+      Elk.Compilecache.set_enabled was)
+    f
+
+let llama = Zoo.scale Zoo.llama2_13b ~factor:16 ~layer_factor:20
+let decode ctx = Zoo.build llama (Zoo.Decode { batch = 16; ctx })
+
+let test_cold_warm_identical () =
+  with_fresh_cache (fun () ->
+      let ctx = Lazy.force Tu.default_ctx and pod = Lazy.force Tu.default_pod in
+      let g = Lazy.force Tu.tiny_llama in
+      let cold = compile ctx ~pod g in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check int) "one miss" 1 s.Elk.Compilecache.plan_misses;
+      Alcotest.(check int) "no hits yet" 0 s.Elk.Compilecache.plan_hits;
+      let warm = compile ctx ~pod g in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check int) "one hit" 1 s.Elk.Compilecache.plan_hits;
+      Alcotest.(check string) "warm plan byte-identical" (export cold) (export warm);
+      Alcotest.(check int) "same orders tried" cold.Elk.Compile.orders_tried
+        warm.Elk.Compile.orders_tried;
+      (* After eviction (reset drops every in-memory entry) the recompile
+         is cold again and must still produce the same bytes. *)
+      Elk.Compilecache.reset ();
+      let recold = compile ctx ~pod g in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check int) "cold again" 1 s.Elk.Compilecache.plan_misses;
+      Alcotest.(check string) "post-eviction plan byte-identical" (export cold)
+        (export recold))
+
+(* The serving ctx-bucket ladder, both topologies: warm compiles (second
+   pass over the same buckets) and cache-off compiles must match the
+   first pass byte for byte. *)
+let test_ladder_cache_off_parity () =
+  let buckets = [ 64; 128; 192 ] in
+  List.iter
+    (fun (label, ctx, pod) ->
+      let pod = Lazy.force pod in
+      let first, second =
+        with_fresh_cache (fun () ->
+            ( List.map (fun b -> export (compile ctx ~pod (decode b))) buckets,
+              List.map (fun b -> export (compile ctx ~pod (decode b))) buckets ))
+      in
+      let off =
+        let was = Elk.Compilecache.enabled () in
+        Elk.Compilecache.set_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Elk.Compilecache.set_enabled was)
+          (fun () -> List.map (fun b -> export (compile ctx ~pod (decode b))) buckets)
+      in
+      List.iteri
+        (fun i b ->
+          let name fmt = Printf.sprintf "%s ctx=%d: %s" label b fmt in
+          Alcotest.(check string) (name "warm = cold") (List.nth first i)
+            (List.nth second i);
+          Alcotest.(check string) (name "cache off = cache on") (List.nth first i)
+            (List.nth off i))
+        buckets)
+    [
+      ("llama/a2a", Lazy.force Tu.default_ctx, Tu.default_pod);
+      ("llama/mesh", Lazy.force Tu.mesh_ctx, Tu.mesh_pod);
+    ]
+
+(* Suffix resume at the scheduler level: two decode graphs of the same
+   model differ only in their attention operators (ctx bucket), so a
+   second induction under the same order re-enters at the last dirty
+   operator — and must reproduce the cold schedule exactly. *)
+let test_suffix_resume_byte_identical () =
+  with_fresh_cache (fun () ->
+      let ctx = Lazy.force Tu.default_ctx in
+      let cg64 = Elk.Sharding.shard_graph ~chips:4 (decode 64) in
+      let cg128 = Elk.Sharding.shard_graph ~chips:4 (decode 128) in
+      let cold128 = Elk.Scheduler.run ctx cg128 in
+      Elk.Compilecache.reset ();
+      let (_ : Elk.Schedule.t) = Elk.Scheduler.run ctx cg64 in
+      let resumed128 = Elk.Scheduler.run ctx cg128 in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check bool) "resume fired" true (s.Elk.Compilecache.sched_resumes > 0);
+      Alcotest.(check string) "resumed schedule byte-identical"
+        (Elk.Planio.export cold128)
+        (Elk.Planio.export resumed128))
+
+(* Reorder memo: two compiles that differ only in max_preload share the
+   candidate-order computation (the memo key ignores scheduler options)
+   while missing the whole-plan cache. *)
+let test_reorder_memo_hits () =
+  with_fresh_cache (fun () ->
+      let ctx = Lazy.force Tu.default_ctx and pod = Lazy.force Tu.default_pod in
+      let g = Lazy.force Tu.tiny_llama in
+      let a = compile ~options ctx ~pod g in
+      let b =
+        compile ~options:{ options with Elk.Compile.max_preload = 16 } ctx ~pod g
+      in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check int) "both compiles missed the plan cache" 2
+        s.Elk.Compilecache.plan_misses;
+      Alcotest.(check bool) "reorder memo hit" true
+        (s.Elk.Compilecache.reorder_hits > 0);
+      Alcotest.(check bool) "plans computed" true
+        (Elk.Compile.latency a > 0. && Elk.Compile.latency b > 0.))
+
+(* Warm and cold plans are identical whatever the jobs count. *)
+let test_jobs_parity () =
+  let ctx = Lazy.force Tu.default_ctx and pod = Lazy.force Tu.default_pod in
+  let buckets = [ 64; 128 ] in
+  let ladder jobs =
+    Elk_util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Elk_util.Pool.set_jobs 1)
+      (fun () ->
+        with_fresh_cache (fun () ->
+            List.map (fun b -> export (compile ctx ~pod (decode b))) buckets))
+  in
+  let seq = ladder 1 and par = ladder 4 in
+  List.iteri
+    (fun i b ->
+      Alcotest.(check string)
+        (Printf.sprintf "ctx=%d identical across jobs" b)
+        (List.nth seq i) (List.nth par i))
+    buckets
+
+(* On-disk store: survives a reset (process restart stand-in), serves
+   byte-identical plans, and ignores a bogus cache file. *)
+let test_disk_store_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "elk-cache-test-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end;
+    Unix.putenv "ELK_COMPILE_CACHE_DIR" ""
+  in
+  Unix.putenv "ELK_COMPILE_CACHE_DIR" dir;
+  Fun.protect ~finally:cleanup (fun () ->
+      with_fresh_cache (fun () ->
+          let ctx = Lazy.force Tu.default_ctx and pod = Lazy.force Tu.default_pod in
+          let g = Lazy.force Tu.tiny_llama in
+          let cold = compile ctx ~pod g in
+          Alcotest.(check bool) "entry written" true
+            (Sys.file_exists dir && Array.length (Sys.readdir dir) > 0);
+          Elk.Compilecache.reset ();
+          let warm = compile ctx ~pod g in
+          let s = Elk.Compilecache.stats () in
+          Alcotest.(check bool) "served from disk" true
+            (s.Elk.Compilecache.disk_hits > 0);
+          Alcotest.(check string) "disk plan byte-identical" (export cold)
+            (export warm);
+          (* A corrupt entry reads as a miss, never an error. *)
+          Array.iter
+            (fun f ->
+              let oc = open_out (Filename.concat dir f) in
+              output_string oc "garbage";
+              close_out oc)
+            (Sys.readdir dir);
+          Elk.Compilecache.reset ();
+          let recold = compile ctx ~pod g in
+          let s = Elk.Compilecache.stats () in
+          Alcotest.(check int) "corrupt entry is a miss" 1
+            s.Elk.Compilecache.plan_misses;
+          Alcotest.(check string) "recompiled plan byte-identical" (export cold)
+            (export recold)))
+
+(* Disabled cache records nothing and touches no store. *)
+let test_disabled_is_inert () =
+  with_fresh_cache (fun () ->
+      Elk.Compilecache.set_enabled false;
+      let ctx = Lazy.force Tu.default_ctx and pod = Lazy.force Tu.default_pod in
+      let g = Lazy.force Tu.tiny_llama in
+      let a = compile ctx ~pod g in
+      let b = compile ctx ~pod g in
+      let s = Elk.Compilecache.stats () in
+      Alcotest.(check int) "no misses recorded" 0 s.Elk.Compilecache.plan_misses;
+      Alcotest.(check int) "no hits recorded" 0 s.Elk.Compilecache.plan_hits;
+      Alcotest.(check string) "plans still deterministic" (export a) (export b))
+
+(* The generic LRU primitive: stamp-based eviction, cap shrinking. *)
+let test_lru_eviction () =
+  let module L = Elk.Compilecache.Lru in
+  let t = L.create ~cap:2 () in
+  L.put t "a" 1;
+  L.put t "b" 2;
+  Alcotest.(check (option int)) "a resident" (Some 1) (L.find t "a");
+  (* "a" was just touched, so inserting "c" evicts "b". *)
+  L.put t "c" 3;
+  Alcotest.(check int) "at cap" 2 (L.length t);
+  Alcotest.(check (option int)) "lru evicted" None (L.find t "b");
+  Alcotest.(check (option int)) "mru kept" (Some 1) (L.find t "a");
+  L.set_cap t 1;
+  Alcotest.(check int) "shrunk to cap" 1 (L.length t);
+  L.clear t;
+  Alcotest.(check int) "cleared" 0 (L.length t)
+
+let suite =
+  [
+    Alcotest.test_case "cold/warm/evicted byte-identical" `Quick
+      test_cold_warm_identical;
+    Alcotest.test_case "ctx ladder parity (warm, off, both topologies)" `Quick
+      test_ladder_cache_off_parity;
+    Alcotest.test_case "suffix resume byte-identical" `Quick
+      test_suffix_resume_byte_identical;
+    Alcotest.test_case "reorder memo hits across option changes" `Quick
+      test_reorder_memo_hits;
+    Alcotest.test_case "warm plans identical across jobs" `Quick test_jobs_parity;
+    Alcotest.test_case "disk store roundtrip" `Quick test_disk_store_roundtrip;
+    Alcotest.test_case "disabled cache is inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction;
+  ]

@@ -144,6 +144,33 @@ let test_determinism_across_jobs () =
   let b = run () in
   Alcotest.(check string) "SLO JSON identical across jobs counts" a b
 
+let test_plan_cache_cap () =
+  let reqs = Workload.generate ~seed:21 ~n:12 spec in
+  let env = Elk_dse.Dse.env () in
+  let full = Frontend.run ~design:B.Elk_dyn ~max_batch:4 env cfg reqs in
+  let capped =
+    Frontend.run ~design:B.Elk_dyn ~max_batch:4 ~plan_cache_cap:1 env cfg reqs
+  in
+  Alcotest.(check int) "uncapped run evicts nothing" 0
+    full.Frontend.plan_cache_evictions;
+  Alcotest.(check bool) "uncapped size = distinct shapes" true
+    (full.Frontend.plan_cache_size = full.Frontend.distinct_shapes);
+  Alcotest.(check bool) "capped size within cap" true
+    (capped.Frontend.plan_cache_size <= 1);
+  if capped.Frontend.distinct_shapes > 1 then
+    Alcotest.(check bool) "cap of 1 forces evictions" true
+      (capped.Frontend.plan_cache_evictions > 0);
+  (* The cap changes only reuse, never results: every request timing is
+     identical to the uncapped run. *)
+  Alcotest.(check (float 1e-12)) "same makespan" full.Frontend.makespan
+    capped.Frontend.makespan;
+  List.iter2
+    (fun (a : Frontend.req_trace) (b : Frontend.req_trace) ->
+      Alcotest.(check (float 1e-12)) "same ttft" (Frontend.ttft a) (Frontend.ttft b);
+      Alcotest.(check (float 1e-12)) "same finish" a.Frontend.finish
+        b.Frontend.finish)
+    full.Frontend.requests capped.Frontend.requests
+
 let test_rejects_bad_input () =
   let bad f =
     match f () with
@@ -154,6 +181,7 @@ let test_rejects_bad_input () =
   let reqs = Workload.generate ~seed:1 ~n:3 spec in
   bad (fun () -> ignore (Frontend.run env cfg []));
   bad (fun () -> ignore (Frontend.run ~max_batch:0 env cfg reqs));
+  bad (fun () -> ignore (Frontend.run ~plan_cache_cap:0 env cfg reqs));
   bad (fun () -> ignore (Frontend.run env cfg (List.rev reqs)))
 
 let suite =
@@ -161,6 +189,7 @@ let suite =
     Alcotest.test_case "lifecycle order" `Quick test_lifecycle_order;
     Alcotest.test_case "fcfs batches" `Quick test_fcfs_batches;
     Alcotest.test_case "plan cache" `Quick test_plan_cache;
+    Alcotest.test_case "plan cache cap" `Quick test_plan_cache_cap;
     Alcotest.test_case "timeseries tiling" `Quick test_timeseries_tiling;
     Alcotest.test_case "slo report" `Quick test_slo_report;
     Alcotest.test_case "determinism across jobs" `Quick

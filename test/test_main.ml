@@ -28,6 +28,7 @@ let () =
       ("verify", Test_verify.suite);
       ("dse", Test_dse.suite);
       ("parallel", Test_parallel.suite);
+      ("compilecache", Test_compilecache.suite);
       ("serve", Test_serve.suite);
       ("workload", Test_workload.suite);
       ("timeseries", Test_timeseries.suite);

@@ -6,10 +6,17 @@ open Elk_model
 
 let options = { Elk.Compile.default_options with max_orders = 8 }
 
+(* The compile cache is disabled here: these tests compare full searches
+   across jobs counts, and a whole-plan cache hit on the second compile
+   would make the comparison vacuous. *)
 let compile_with ~jobs ?(options = options) ctx ~pod g =
   Elk_util.Pool.set_jobs jobs;
+  let was = Elk.Compilecache.enabled () in
+  Elk.Compilecache.set_enabled false;
   Fun.protect
-    ~finally:(fun () -> Elk_util.Pool.set_jobs 1)
+    ~finally:(fun () ->
+      Elk_util.Pool.set_jobs 1;
+      Elk.Compilecache.set_enabled was)
     (fun () -> Elk.Compile.compile ~options ctx ~pod g)
 
 let fixtures () =

@@ -203,6 +203,67 @@ let test_overhead_zero_somewhere () =
   in
   Alcotest.(check bool) "small best overhead" true (best < 1e-3)
 
+let test_signature_digests_full_spec () =
+  (* Regression: the pre-digest signature was a separator-joined concat
+     of kind/iter/dims/dtype that ignored [flops_per_point] entirely —
+     two pointwise ops of the same shape but different per-point cost
+     collided and shared enumeration results.  The digest form must
+     distinguish every field the cost model reads. *)
+  let ew ?(flops = 1.) ?(dtype = Elk_tensor.Dtype.Fp16) name =
+    Opspec.elementwise ~dtype ~flops_per_point:flops ~name ~kind:"silu"
+      ~shape:[ 256; 64 ] ()
+  in
+  let a = ew "e1" in
+  Alcotest.(check bool) "flops_per_point distinguishes" true
+    (Partition.plan_signature a <> Partition.plan_signature (ew ~flops:4. "e2"));
+  Alcotest.(check bool) "dtype distinguishes" true
+    (Partition.plan_signature a
+    <> Partition.plan_signature (ew ~dtype:Elk_tensor.Dtype.Fp32 "e3"));
+  Alcotest.(check string) "name still ignored" (Partition.plan_signature a)
+    (Partition.plan_signature (ew "renamed"));
+  (* Fixed-length hex output: composite memo keys append suffixes to the
+     signature and rely on it never containing separators. *)
+  Alcotest.(check int) "fixed-length digest" 32
+    (String.length (Partition.plan_signature a));
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digest" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    (Partition.plan_signature a)
+
+let test_fingerprint_separates_topologies () =
+  Alcotest.(check bool) "a2a and mesh contexts fingerprint apart" true
+    (Partition.fingerprint (ctx ()) <> Partition.fingerprint (mctx ()))
+
+let test_shared_memo_across_contexts () =
+  let was = Partition.memo_sharing () in
+  Partition.set_memo_sharing true;
+  Fun.protect
+    ~finally:(fun () ->
+      Partition.set_memo_sharing was;
+      Partition.reset_shared_memos ())
+    (fun () ->
+      Partition.reset_shared_memos ();
+      let chip = (Lazy.force Tu.default_pod).Elk_arch.Arch.chip in
+      let cost = Elk_cost.Costmodel.train ~samples_per_kind:60 chip in
+      let c1 = Partition.make_ctx cost and c2 = Partition.make_ctx cost in
+      Alcotest.(check string) "equal fingerprints" (Partition.fingerprint c1)
+        (Partition.fingerprint c2);
+      ignore (Partition.enumerate c1 Tu.matmul_op);
+      let m2, _ = Partition.memo_sizes c2 in
+      Alcotest.(check bool) "second context reuses first's enumeration" true
+        (m2 > 0);
+      (* Sharing off: a fresh context gets private empty tables. *)
+      Partition.set_memo_sharing false;
+      let c3 = Partition.make_ctx cost in
+      let m3, _ = Partition.memo_sizes c3 in
+      Alcotest.(check int) "private tables when sharing is off" 0 m3;
+      (* Reset clears tables in place, so live contexts go cold too. *)
+      Partition.set_memo_sharing true;
+      Partition.reset_shared_memos ();
+      let m1, _ = Partition.memo_sizes c1 in
+      Alcotest.(check int) "reset empties live contexts" 0 m1)
+
 let qcheck_enumerate_valid =
   Tu.qtest ~count:25 "partition: random matmuls produce consistent plans"
     QCheck2.Gen.(triple (int_range 1 64) (int_range 8 512) (int_range 8 512))
@@ -239,5 +300,9 @@ let suite =
     ("partition: no-hbm zero option", `Quick, test_preload_no_hbm_single_zero_option);
     ("partition: len above floor", `Quick, test_preload_len_at_least_floor);
     ("partition: reachable floor", `Quick, test_overhead_zero_somewhere);
+    ("partition: signature digests full spec", `Quick, test_signature_digests_full_spec);
+    ("partition: fingerprint separates topologies", `Quick,
+     test_fingerprint_separates_topologies);
+    ("partition: shared memo across contexts", `Quick, test_shared_memo_across_contexts);
     qcheck_enumerate_valid;
   ]
