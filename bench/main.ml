@@ -1247,6 +1247,66 @@ let mem_bench () =
         (t_on /. Float.max 1e-12 t_off)
 
 (* ------------------------------------------------------------------ *)
+(* Interconnect-observability snapshot (BENCH_noc.json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot the headline run's interconnect congestion report in the
+   [elk noc --json-out] shape so CI can [elk trace diff] a fresh copy
+   against the committed one.  Like the critpath and mem benches, this
+   re-checks the zero-cost contract for the recording path it gates:
+   per-link recording must not perturb the simulated timeline, and its
+   wall-clock overhead over the plain run is measured so a regression
+   in the recording path shows up in the snapshot's [overhead] ratio. *)
+let noc_bench () =
+  let env = Lazy.force default_env in
+  let g = decode llama13b ~batch:32 in
+  match B.plan ~elk_options:bench_elk_options env.D.ctx ~pod:env.D.pod g B.Elk_full with
+  | None -> ()
+  | Some s ->
+      let time reps f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int reps
+      in
+      let reps = 5 in
+      ignore (Elk_sim.Sim.run ~noc:false env.D.ctx s);
+      let t_off = time reps (fun () -> Elk_sim.Sim.run ~noc:false env.D.ctx s) in
+      let t_on = time reps (fun () -> Elk_sim.Sim.run ~noc:true env.D.ctx s) in
+      (* The analyzed run also records events so check can reconcile the
+         trace against Critpath's interconnect segments; the overhead
+         ratio above isolates the per-link recording path alone. *)
+      let r = Elk_sim.Sim.run ~events:true ~noc:true env.D.ctx s in
+      let r_off = Elk_sim.Sim.run ~noc:false env.D.ctx s in
+      if r.Elk_sim.Sim.total <> r_off.Elk_sim.Sim.total then
+        Printf.printf "RECORDING PERTURBED THE TIMELINE: %.9g vs %.9g\n"
+          r.Elk_sim.Sim.total r_off.Elk_sim.Sim.total;
+      let module Np = Elk_analyze.Nocprof in
+      let rep = Np.analyze s r in
+      (match Np.check rep with
+      | Ok () -> ()
+      | Error m -> Printf.printf "INTERCONNECT INVARIANT VIOLATED: %s\n" m);
+      Np.print ~top:5 rep;
+      let num v = Printf.sprintf "%.4g" v in
+      (* The elk-noc snapshot plus the overhead record, spliced after the
+         opening brace so the Tracediff core keeps its shape. *)
+      let body = Np.to_json ~top:8 rep in
+      let body = String.sub body 1 (String.length body - 1) in
+      let json =
+        Printf.sprintf
+          "{\"design\":%S,\"overhead\":{\"sim_disabled_s\":%s,\"sim_enabled_s\":%s,\"ratio\":%s},%s\n"
+          (B.name B.Elk_full) (num t_off) (num t_on)
+          (num (t_on /. Float.max 1e-12 t_off))
+          body
+      in
+      let oc = open_out "BENCH_noc.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote BENCH_noc.json (recording overhead %.2fx)\n\n"
+        (t_on /. Float.max 1e-12 t_off)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1370,6 +1430,7 @@ let experiments =
     ("compile", compile_bench);
     ("critpath", critpath_bench);
     ("mem", mem_bench);
+    ("noc", noc_bench);
     ("micro", micro);
   ]
 

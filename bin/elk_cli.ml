@@ -506,6 +506,83 @@ let mem_cmd =
       $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ window_t $ json_out_t
       $ metrics_out_t $ trace_out_t)
 
+let noc_cmd =
+  let run cfg scale layer_factor batch ctx prefill chips cores topology design top
+      window json_out metrics_out trace_out =
+    obs_setup ~metrics_out ~trace_out;
+    let g = build_graph cfg ~scale ~layer_factor ~batch ~ctx ~prefill in
+    let env = make_env ~chips ~cores ~topology in
+    match B.plan env.D.ctx ~pod:env.D.pod g design with
+    | None ->
+        Format.eprintf "elk_cli: the Ideal roofline has no schedule to profile@.";
+        exit 1
+    | Some s ->
+        let r = Elk_sim.Sim.run ~events:true ~noc:true env.D.ctx s in
+        let rep = Elk_analyze.Nocprof.analyze ?window s r in
+        (match Elk_analyze.Nocprof.check rep with
+        | Ok () -> ()
+        | Error m ->
+            Format.eprintf "elk_cli: interconnect invariant violated: %s@." m;
+            exit 1);
+        Elk_analyze.Nocprof.print ~top rep;
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            failing_write ~what:"interconnect report" (fun () ->
+                let oc = open_out path in
+                output_string oc (Elk_analyze.Nocprof.to_json ~top rep);
+                close_out oc);
+            Format.printf "wrote interconnect report to %s@." path);
+        (match rep.Elk_analyze.Nocprof.busiest_dyn with
+        | None -> ()
+        | Some (_, busy) ->
+            Elk_obs.Metrics.set "elk_noc_busiest_link_busy_seconds"
+              ~help:"Reservation time on the hottest interconnect link" busy);
+        Elk_obs.Metrics.set "elk_noc_transfer_bytes"
+          ~help:"Bytes moved over the interconnect, once per transfer"
+          (rep.Elk_analyze.Nocprof.pre_bytes
+          +. rep.Elk_analyze.Nocprof.dist_bytes
+          +. rep.Elk_analyze.Nocprof.ex_bytes);
+        Elk_obs.Metrics.set "elk_noc_mean_hops"
+          ~help:"Byte-weighted mean route length"
+          rep.Elk_analyze.Nocprof.mean_hops;
+        write_trace
+          ~sim:(s.Elk.Schedule.graph, r)
+          ~extra:(Elk_analyze.Nocprof.chrome_counter_events rep)
+          trace_out;
+        write_metrics metrics_out
+  in
+  let top_t =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~doc:"Hottest links to show in detail.")
+  in
+  let window_t =
+    Arg.(value & opt (some float) None
+         & info [ "window" ] ~docv:"SECONDS"
+             ~doc:"Utilization time-series window width (default: makespan/48).")
+  in
+  let json_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ]
+             ~doc:
+               "Write the interconnect report as JSON to $(docv) — the \
+                top-level total/segments follow the format $(b,elk trace \
+                diff) consumes.")
+  in
+  Cmd.v
+    (Cmd.info "noc"
+       ~doc:
+         "Simulate a design with per-link interconnect recording and print \
+          the congestion report: hottest links with traffic-class breakdown, \
+          route-length histogram, a mesh heatmap on 2D topologies, and the \
+          dynamic-vs-static cross-check against the schedule's \
+          communication.  With --trace-out, per-link utilization gauges are \
+          exported as Perfetto counter tracks beside the device timeline.")
+    Term.(
+      const run $ model_t $ scale_t $ layer_factor_t $ batch_t $ ctx_t $ prefill_t
+      $ chips_t $ cores_t $ topo_t $ design_t $ top_t $ window_t $ json_out_t
+      $ metrics_out_t $ trace_out_t)
+
 let trace_cmd =
   let diff_cmd =
     let run old_path new_path threshold top json_out =
@@ -997,7 +1074,7 @@ let serve_cmd =
   let module F = Elk_serve.Frontend in
   let run cfg scale layer_factor chips cores topology jobs no_cache design workload
       rate requests seed prompt output max_batch plan_cache_cap slo_ttft slo_itl
-      window mem json_out metrics_out trace_out =
+      window mem noc json_out metrics_out trace_out =
     set_jobs jobs;
     set_cache no_cache;
     obs_setup ~metrics_out ~trace_out;
@@ -1016,11 +1093,13 @@ let serve_cmd =
           | None -> invalid_arg (Printf.sprintf "unknown workload %S" workload)
         in
         let reqs = W.generate ~seed ~n:requests spec in
-        let result = F.run ~design ?jobs ~max_batch ~plan_cache_cap env cfg reqs in
+        let result =
+          F.run ~design ?jobs ~max_batch ~plan_cache_cap ~noc env cfg reqs
+        in
         Ok
           ( result,
-            Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~mem ~workload
-              ~seed result )
+            Elk_serve.Slo.of_result ?slo_ttft ?slo_itl ?window ~mem ~noc
+              ~workload ~seed result )
       with Invalid_argument m -> Error m
     in
     match outcome with
@@ -1115,6 +1194,15 @@ let serve_cmd =
             "Also record a per-core SRAM high-water gauge (the static demand \
              of the plans serving each batch) into the time series.")
   in
+  let noc_t =
+    Arg.(
+      value & flag
+      & info [ "noc" ]
+          ~doc:
+            "Also record a busiest-interconnect-link gauge (reservation \
+             seconds on the hottest link of the plans serving each batch) \
+             into the time series.")
+  in
   let json_out_t =
     Arg.(
       value
@@ -1134,7 +1222,7 @@ let serve_cmd =
       const run $ model_t $ scale_t $ layer_factor_t $ chips_t $ cores_t
       $ topo_t $ jobs_t $ no_cache_t $ design_t $ workload_t $ rate_t
       $ requests_t $ seed_t $ prompt_t $ output_t $ max_batch_t
-      $ plan_cache_cap_t $ slo_ttft_t $ slo_itl_t $ window_t $ mem_t
+      $ plan_cache_cap_t $ slo_ttft_t $ slo_itl_t $ window_t $ mem_t $ noc_t
       $ json_out_t $ metrics_out_t $ trace_out_t)
 
 let () =
@@ -1144,6 +1232,7 @@ let () =
        (Cmd.group (Cmd.info "elk_cli" ~doc)
           [
             info_cmd; compile_cmd; compare_cmd; program_cmd; report_cmd; analyze_cmd;
-            critpath_cmd; mem_cmd; trace_cmd; profile_cmd; verify_cmd; lint_cmd;
+            critpath_cmd; mem_cmd; noc_cmd; trace_cmd; profile_cmd; verify_cmd;
+            lint_cmd;
             serve_cmd;
           ]))

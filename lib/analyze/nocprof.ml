@@ -1,0 +1,645 @@
+(* Interconnect observability: per-link congestion profiles, the view
+   behind `elk noc`.
+
+   The dynamic view replays the simulator's Noctrace record — every
+   link reservation the two fluid fabrics made — into per-link rows
+   (volume, class breakdown, busy time, utilization), Timeseries
+   utilization gauges over simulated time, hop-count histograms and,
+   on 2D meshes, an ASCII heatmap.  The static view is a Noc.Load
+   mirror of the schedule's communication: the same preload fan-out,
+   distribution ring and exchange ring the simulator executes, booked
+   with Load.add.  [check] gates the two against each other link by
+   link (and busiest against Load.busiest), reconciles recorded
+   queueing waits with Perfcore's per-op port attribution, and — when
+   causal events were also recorded — with the port_wait Critpath
+   carries on its Distribute/Exchange segments.  A violation means one
+   of the layers drifted.
+
+   The JSON snapshot carries a Tracediff-comparable core (total =
+   makespan, hottest links as interconnect segments in busy-seconds),
+   so CI gates BENCH_noc.json with the machinery that already gates
+   critical paths, SLOs and memory. *)
+
+module Nt = Elk_sim.Noctrace
+module N = Elk_noc.Noc
+module Ts = Elk_obs.Timeseries
+module A = Elk_arch.Arch
+module P = Elk_partition.Partition
+module J = Elk_obs.Jsonx
+
+(* Same relative tolerance as Perfcore's tiling invariant. *)
+let drift_eps = 1e-6
+
+type link_row = {
+  l_link : N.link;
+  l_name : string;
+  l_bandwidth : float;  (* raw capacity, B/s *)
+  l_volume : float;  (* dynamic booked bytes *)
+  l_static : float;  (* static Load mirror's bytes *)
+  l_preload : float;
+  l_distribute : float;
+  l_exchange : float;
+  l_busy : float;  (* summed reservation seconds, both classes *)
+  l_util : float;  (* busy / makespan *)
+  l_bookings : int;
+}
+
+type report = {
+  model : string;
+  total : float;  (* simulated makespan *)
+  topology : string;
+  noc : N.t;
+  rows : link_row list;  (* canonical link order *)
+  hot : link_row list;  (* by descending busy time, ties canonical *)
+  busiest_dyn : (N.link * float) option;  (* link, volume/bandwidth *)
+  busiest_static : (N.link * float) option;
+  pre_bytes : float;  (* recorded class bytes, once per transfer *)
+  dist_bytes : float;
+  ex_bytes : float;
+  expect_pre : float;  (* schedule-side expectations for the same sums *)
+  expect_dist : float;
+  expect_ex : float;
+  hops : (int * int * float) list;  (* hop histogram *)
+  mean_hops : float;  (* byte-weighted mean route length *)
+  trace : Nt.t;
+  series : Ts.t;
+  series_names : string list;
+  port_attrib : (float * float) array;  (* per op: recomputed vs Perfcore a_port *)
+  events : Elk_sim.Critpath.event array option;
+}
+
+(* ---- static mirror ---------------------------------------------------- *)
+
+(* Book the schedule's communication into a Noc.Load exactly the way
+   the simulator executes it: preload fan-out from each core's
+   controller, the distribution ring from sharing-group successors,
+   the exchange ring from predecessors.  Guards mirror the simulator's
+   (no transfer for zero bytes, none when src = dst), so the per-link
+   volumes must agree with the dynamic record to float noise. *)
+let static_load noc (s : Elk.Schedule.t) =
+  let chip = N.chip noc in
+  let cores = chip.A.cores in
+  let load = N.Load.create noc in
+  Array.iter
+    (fun e ->
+      let popt = e.Elk.Schedule.popt and plan = e.Elk.Schedule.plan in
+      if popt.P.hbm_device_bytes > 0. then begin
+        let per_core = popt.P.noc_inject_bytes /. float_of_int cores in
+        if per_core > 0. then
+          for c = 0 to cores - 1 do
+            N.Load.add load ~src:(N.hbm_ctrl_for_core noc c) ~dst:(N.Core c)
+              ~bytes:per_core
+          done
+      end;
+      let ncores = plan.P.cores_used in
+      let ring bytes shift =
+        if bytes > 0. then
+          for c = 0 to ncores - 1 do
+            let src = (c + shift) mod ncores in
+            if src <> c then
+              N.Load.add load ~src:(N.Core src) ~dst:(N.Core c) ~bytes
+          done
+      in
+      ring popt.P.dist_bytes_per_core 1;
+      ring plan.P.exchange_bytes_per_core (ncores - 1))
+    s.Elk.Schedule.entries;
+  load
+
+(* ---- analysis --------------------------------------------------------- *)
+
+let series_of_link name = "noc_link_util:" ^ name
+
+(* Merge intervals into their union (inputs sorted by start). *)
+let union_intervals ivs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (a, b) :: rest -> (
+        match acc with
+        | (ca, cb) :: tl when a <= cb -> go ((ca, Float.max cb b) :: tl) rest
+        | _ -> go ((a, b) :: acc) rest)
+  in
+  go [] (List.sort (fun (a, _) (b, _) -> Float.compare a b) ivs)
+
+let analyze ?window ?(top_series = 5) (s : Elk.Schedule.t)
+    (r : Elk_sim.Sim.result) =
+  let trace =
+    match r.Elk_sim.Sim.noc with
+    | Some t -> t
+    | None ->
+        invalid_arg
+          "Nocprof.analyze: simulator run has no interconnect record (run \
+           with ~noc:true or ELK_SIM_NOC=1)"
+  in
+  let noc = Nt.noc trace in
+  let chip = N.chip noc in
+  let total = r.Elk_sim.Sim.total in
+  let topology =
+    match chip.A.topology with
+    | A.All_to_all -> "all-to-all"
+    | A.Mesh2d { rows; cols } -> Printf.sprintf "mesh %dx%d" rows cols
+    | A.Clustered { cluster_size; _ } ->
+        Printf.sprintf "clustered/%d" cluster_size
+  in
+  let load = static_load noc s in
+  let stats = Nt.link_stats trace in
+  let rows =
+    List.map
+      (fun (st : Nt.link_stat) ->
+        {
+          l_link = st.Nt.ls_link;
+          l_name = N.link_name st.Nt.ls_link;
+          l_bandwidth = st.Nt.ls_bandwidth;
+          l_volume = st.Nt.ls_volume;
+          l_static = N.Load.volume_on load st.Nt.ls_link;
+          l_preload = st.Nt.ls_preload;
+          l_distribute = st.Nt.ls_distribute;
+          l_exchange = st.Nt.ls_exchange;
+          l_busy = st.Nt.ls_busy;
+          l_util = (if total > 0. then st.Nt.ls_busy /. total else 0.);
+          l_bookings = st.Nt.ls_bookings;
+        })
+      stats
+  in
+  let hot =
+    List.stable_sort (fun a b -> Float.compare b.l_busy a.l_busy) rows
+  in
+  let busiest_dyn =
+    List.fold_left
+      (fun acc row ->
+        let time = row.l_volume /. row.l_bandwidth in
+        match acc with
+        | Some (_, best) when best >= time -> acc
+        | _ -> Some (row.l_link, time))
+      None rows
+  in
+  (* Schedule-side expectations for the recorded class totals, with the
+     simulator's own guards (nothing moves for zero bytes or src=dst). *)
+  let expect_pre = ref 0. and expect_dist = ref 0. and expect_ex = ref 0. in
+  Array.iter
+    (fun e ->
+      let popt = e.Elk.Schedule.popt and plan = e.Elk.Schedule.plan in
+      let ncores = plan.P.cores_used in
+      if popt.P.hbm_device_bytes > 0. && popt.P.noc_inject_bytes > 0. then
+        expect_pre := !expect_pre +. popt.P.noc_inject_bytes;
+      if ncores > 1 then begin
+        expect_dist :=
+          !expect_dist +. (popt.P.dist_bytes_per_core *. float_of_int ncores);
+        expect_ex :=
+          !expect_ex +. (plan.P.exchange_bytes_per_core *. float_of_int ncores)
+      end)
+    s.Elk.Schedule.entries;
+  (* Per-op port attribution recomputed from the trace's queueing waits,
+     against Perfcore's books. *)
+  let per_op = r.Elk_sim.Sim.per_op in
+  let port_attrib =
+    Array.mapi
+      (fun op (o : Elk_sim.Sim.op_trace) ->
+        let dist_len = o.Elk_sim.Sim.dist_end -. o.Elk_sim.Sim.exe_start in
+        let ex_len = o.Elk_sim.Sim.exe_end -. o.Elk_sim.Sim.compute_end in
+        let port_d =
+          Float.min dist_len (Nt.max_wait trace ~op ~cls:Nt.Distribute)
+        in
+        let port_e =
+          Float.min ex_len (Nt.max_wait trace ~op ~cls:Nt.Exchange)
+        in
+        ( port_d +. port_e,
+          r.Elk_sim.Sim.perf.Elk_sim.Perfcore.per_op.(op)
+            .Elk_sim.Perfcore.a_port ))
+      per_op
+  in
+  (* Utilization gauges: 1 while the link holds a reservation (either
+     class), 0 while idle — the windowed mean is the link's utilization
+     over each window.  One gauge per hottest link, plus a busy-link
+     count across the whole fabric. *)
+  let window =
+    match window with Some w -> w | None -> Float.max 1e-9 (total /. 48.)
+  in
+  let series = Ts.create ~window () in
+  let top_links = List.filteri (fun i _ -> i < top_series) hot in
+  let link_union row =
+    let pre, exch = Nt.busy_intervals trace ~link:row.l_link in
+    union_intervals (pre @ exch)
+  in
+  List.iter
+    (fun row ->
+      let name = series_of_link row.l_name in
+      Ts.set series name ~time:0. 0.
+        ~help:("Busy fraction of " ^ row.l_name ^ " over time");
+      List.iter
+        (fun (a, b) ->
+          Ts.set series name ~time:a 1.;
+          Ts.set series name ~time:b 0.)
+        (link_union row))
+    top_links;
+  let busy_events =
+    List.concat_map
+      (fun row -> List.concat_map (fun (a, b) -> [ (a, 1.); (b, -1.) ]) (link_union row))
+      rows
+    |> List.sort (fun (ta, da) (tb, db) -> compare (ta, da) (tb, db))
+  in
+  Ts.set series "noc_busy_links" ~time:0. 0.
+    ~help:"Links holding at least one reservation";
+  ignore
+    (List.fold_left
+       (fun level (t, d) ->
+         let level = level +. d in
+         Ts.set series "noc_busy_links" ~time:t level;
+         level)
+       0. busy_events);
+  let series_names =
+    List.map (fun row -> series_of_link row.l_name) top_links
+    @ [ "noc_busy_links" ]
+  in
+  let hops = Nt.hop_histogram trace in
+  let mean_hops =
+    let b = List.fold_left (fun a (_, _, bytes) -> a +. bytes) 0. hops in
+    if b <= 0. then 0.
+    else
+      List.fold_left
+        (fun a (h, _, bytes) -> a +. (float_of_int h *. bytes))
+        0. hops
+      /. b
+  in
+  {
+    model = Elk_model.Graph.name s.Elk.Schedule.graph;
+    total;
+    topology;
+    noc;
+    rows;
+    hot;
+    busiest_dyn;
+    busiest_static = N.Load.busiest load;
+    pre_bytes = Nt.class_bytes trace ~cls:Nt.Preload;
+    dist_bytes = Nt.class_bytes trace ~cls:Nt.Distribute;
+    ex_bytes = Nt.class_bytes trace ~cls:Nt.Exchange;
+    expect_pre = !expect_pre;
+    expect_dist = !expect_dist;
+    expect_ex = !expect_ex;
+    hops;
+    mean_hops;
+    trace;
+    series;
+    series_names;
+    port_attrib;
+    events = r.Elk_sim.Sim.events;
+  }
+
+(* ---- cross-checks ----------------------------------------------------- *)
+
+let rel_err a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  if scale <= 0. then 0. else Float.abs (a -. b) /. scale
+
+(* The invariants `elk noc` enforces on every run (and CI on every zoo
+   model): the dynamic per-link volumes agree with the static Load
+   mirror (and the busiest links coincide), recorded class totals match
+   the schedule's, recomputed queueing waits match Perfcore's per-op
+   port attribution, per-class busy intervals never overlap on a link,
+   and the utilization series tile without gaps.  When causal events
+   were recorded too, the Distribute/Exchange port_wait Critpath
+   carries must equal the trace's. *)
+let check rep =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let link_drift =
+    List.find_opt (fun row -> rel_err row.l_volume row.l_static > drift_eps) rep.rows
+  in
+  match link_drift with
+  | Some row ->
+      err
+        "link %s: recorded volume %.6g B drifts from the static Load \
+         mirror's %.6g B — the simulator and Noc.Load disagree"
+        row.l_name row.l_volume row.l_static
+  | None -> (
+      match (rep.busiest_dyn, rep.busiest_static) with
+      | Some (dl, dt), Some (sl, st)
+        when dl <> sl && rel_err dt st > drift_eps ->
+          err "busiest link diverged: recorded %s (%.3g s) vs static %s (%.3g s)"
+            (N.link_name dl) dt (N.link_name sl) st
+      | Some (_, dt), Some (_, st) when rel_err dt st > drift_eps ->
+          err "busiest-link volume drifted: recorded %.6g s vs static %.6g s"
+            dt st
+      | Some _, None | None, Some _ ->
+          err "busiest link exists in only one of the dynamic/static views"
+      | _ ->
+          let class_drift =
+            List.find_opt
+              (fun (_, got, want) -> rel_err got want > drift_eps)
+              [
+                ("preload", rep.pre_bytes, rep.expect_pre);
+                ("distribute", rep.dist_bytes, rep.expect_dist);
+                ("exchange", rep.ex_bytes, rep.expect_ex);
+              ]
+          in
+          (match class_drift with
+          | Some (cls, got, want) ->
+              err "%s class bytes %.6g drift from the schedule's %.6g" cls got
+                want
+          | None ->
+              let bad_port = ref None in
+              Array.iteri
+                (fun op (got, want) ->
+                  if !bad_port = None && rel_err got want > drift_eps then
+                    bad_port := Some (op, got, want))
+                rep.port_attrib;
+              (match !bad_port with
+              | Some (op, got, want) ->
+                  err
+                    "op %d: port wait recomputed from the trace (%.6g s) \
+                     drifts from Perfcore's attribution (%.6g s)"
+                    op got want
+              | None ->
+                  let overlap =
+                    List.find_map
+                      (fun row ->
+                        let check_cls label ivs =
+                          let rec go = function
+                            | (_, b) :: (((a2, _) :: _) as rest) ->
+                                if a2 < b -. (drift_eps *. Float.max 1. rep.total)
+                                then Some (row.l_name, label)
+                                else go rest
+                            | _ -> None
+                          in
+                          go ivs
+                        in
+                        let pre, exch =
+                          Nt.busy_intervals rep.trace ~link:row.l_link
+                        in
+                        match check_cls "preload" pre with
+                        | Some x -> Some x
+                        | None -> check_cls "exchange" exch)
+                      rep.rows
+                  in
+                  (match overlap with
+                  | Some (name, cls) ->
+                      err
+                        "link %s: overlapping %s-class reservations — the \
+                         fabric's serialization was not recorded faithfully"
+                        name cls
+                  | None ->
+                      let ev_drift =
+                        match rep.events with
+                        | None -> None
+                        | Some events ->
+                            Array.fold_left
+                              (fun acc (e : Elk_sim.Critpath.event) ->
+                                if acc <> None then acc
+                                else
+                                  let against cls =
+                                    let len =
+                                      e.Elk_sim.Critpath.t_end
+                                      -. e.Elk_sim.Critpath.t_start
+                                    in
+                                    let want =
+                                      Float.min len
+                                        (Nt.max_wait rep.trace
+                                           ~op:e.Elk_sim.Critpath.op ~cls)
+                                    in
+                                    if
+                                      rel_err e.Elk_sim.Critpath.port_wait want
+                                      > drift_eps
+                                    then
+                                      Some
+                                        ( e.Elk_sim.Critpath.op,
+                                          e.Elk_sim.Critpath.port_wait,
+                                          want )
+                                    else None
+                                  in
+                                  match e.Elk_sim.Critpath.kind with
+                                  | Elk_sim.Critpath.Distribute ->
+                                      against Nt.Distribute
+                                  | Elk_sim.Critpath.Exchange ->
+                                      against Nt.Exchange
+                                  | _ -> None)
+                              None events
+                      in
+                      (match ev_drift with
+                      | Some (op, got, want) ->
+                          err
+                            "op %d: Critpath port_wait %.6g s disagrees with \
+                             the trace's max queueing wait %.6g s"
+                            op got want
+                      | None ->
+                          let bad =
+                            List.find_map
+                              (fun name ->
+                                match
+                                  Ts.check_tiling rep.series ~horizon:rep.total
+                                    name
+                                with
+                                | Ok () -> None
+                                | Error m -> Some m)
+                              rep.series_names
+                          in
+                          (match bad with
+                          | Some m -> Error m
+                          | None -> Ok ()))))))
+
+(* ---- tables ----------------------------------------------------------- *)
+
+let mb v = Printf.sprintf "%.2f" (v /. 1048576.)
+let us v = Printf.sprintf "%.1f" (v *. 1e6)
+let gbs v = Printf.sprintf "%.1f" (v /. 1e9)
+let pct v = Printf.sprintf "%.1f%%" (100. *. v)
+
+let tables ?(top = 10) rep =
+  let summary =
+    Elk_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "interconnect: %s on %s, makespan %s us, %d links touched, %d \
+            transfers"
+           rep.model rep.topology (us rep.total) (List.length rep.rows)
+           (Nt.num_transfers rep.trace))
+      ~columns:[ "metric"; "value" ]
+  in
+  List.iter
+    (fun (k, v) -> Elk_util.Table.add_row summary [ k; v ])
+    [
+      ("preload bytes (MB)", mb rep.pre_bytes);
+      ("distribute bytes (MB)", mb rep.dist_bytes);
+      ("exchange bytes (MB)", mb rep.ex_bytes);
+      ("mean route length (links)", Printf.sprintf "%.2f" rep.mean_hops);
+      ( "busiest link (dynamic)",
+        match rep.busiest_dyn with
+        | Some (l, t) -> Printf.sprintf "%s (%s us)" (N.link_name l) (us t)
+        | None -> "-" );
+      ( "busiest link (static Load)",
+        match rep.busiest_static with
+        | Some (l, t) -> Printf.sprintf "%s (%s us)" (N.link_name l) (us t)
+        | None -> "-" );
+    ];
+  let links =
+    Elk_util.Table.create
+      ~title:(Printf.sprintf "hottest links (top %d by busy time)" top)
+      ~columns:
+        [ "link"; "GB/s"; "MB"; "preload"; "distribute"; "exchange"; "busy us";
+          "util" ]
+  in
+  List.iteri
+    (fun i row ->
+      if i < top then
+        let share v =
+          if row.l_volume <= 0. then "-" else pct (v /. row.l_volume)
+        in
+        Elk_util.Table.add_row links
+          [
+            row.l_name; gbs row.l_bandwidth; mb row.l_volume;
+            share row.l_preload; share row.l_distribute; share row.l_exchange;
+            us row.l_busy; pct row.l_util;
+          ])
+    rep.hot;
+  let hist =
+    Elk_util.Table.create
+      ~title:"route length histogram"
+      ~columns:[ "hops"; "transfers"; "MB" ]
+  in
+  List.iter
+    (fun (h, n, bytes) ->
+      Elk_util.Table.add_row hist [ string_of_int h; string_of_int n; mb bytes ])
+    rep.hops;
+  [ summary; links; hist ]
+
+let glyphs = [| " "; "_"; "."; ":"; "-"; "="; "+"; "*"; "#" |]
+
+let glyph_of hi v =
+  if hi <= 0. then glyphs.(0)
+  else
+    let i = int_of_float (Float.round (v /. hi *. 8.)) in
+    glyphs.(max 0 (min 8 i))
+
+let sparkline values =
+  let hi = List.fold_left Float.max 0. values in
+  String.concat "" (List.map (glyph_of hi) values)
+
+(* ASCII mesh heatmap: one cell per core, intensity = the hottest
+   utilization among the links leaving that core (outgoing mesh edges,
+   plus the controller entry edge where one lands).  None on
+   non-mesh topologies. *)
+let heatmap rep =
+  if not (N.is_mesh rep.noc) then None
+  else begin
+    let chip = N.chip rep.noc in
+    match chip.A.topology with
+    | A.Mesh2d { rows; cols } ->
+        let cell = Array.make (rows * cols) 0. in
+        List.iter
+          (fun row ->
+            let bump c v = if c >= 0 && c < rows * cols then cell.(c) <- Float.max cell.(c) v in
+            match row.l_link with
+            | N.Edge { from_core; _ } -> bump from_core row.l_util
+            | N.Hbm_edge { entry; _ } -> bump entry row.l_util
+            | _ -> ())
+          rep.rows;
+        let hi = Array.fold_left Float.max 0. cell in
+        let lines =
+          List.init rows (fun r ->
+              String.concat ""
+                (List.init cols (fun c -> glyph_of hi cell.((r * cols) + c))))
+        in
+        Some
+          (Printf.sprintf
+             "link utilization heatmap (%dx%d cores, peak %s outgoing-link \
+              busy)"
+             rows cols (pct hi)
+          :: List.map (fun l -> "  |" ^ l ^ "|") lines)
+    | _ -> None
+  end
+
+let print ?top rep =
+  List.iter Elk_util.Table.print (tables ?top rep);
+  (match heatmap rep with
+  | Some lines ->
+      List.iter print_endline lines;
+      print_newline ()
+  | None -> ());
+  match rep.hot with
+  | [] -> ()
+  | hottest :: _ ->
+      let points =
+        Ts.points rep.series ~horizon:rep.total
+          (series_of_link hottest.l_name)
+      in
+      if points <> [] then begin
+        let vals = List.map (fun p -> p.Ts.mean) points in
+        Printf.printf "%s utilization over time (%d windows, %s busy):\n  %s\n"
+          hottest.l_name (List.length points) (pct hottest.l_util)
+          (sparkline vals)
+      end
+
+(* ---- JSON snapshot ---------------------------------------------------- *)
+
+(* Round like the SLO snapshot so the committed file is stable under
+   float noise. *)
+let g v = J.number (float_of_string (Printf.sprintf "%.6g" v))
+
+let to_json ?(top = 10) rep =
+  let seg name kind dur =
+    Printf.sprintf
+      "{\"name\":%s,\"kind\":%s,\"resource\":\"interconnect\",\"dur\":%s}"
+      (J.quote name) (J.quote kind) (g dur)
+  in
+  let segments =
+    List.filteri (fun i _ -> i < top) rep.hot
+    |> List.map (fun row -> seg row.l_name "link-busy" row.l_busy)
+  in
+  let busy_total = List.fold_left (fun a row -> a +. row.l_busy) 0. rep.rows in
+  let links =
+    List.filteri (fun i _ -> i < top) rep.hot
+    |> List.map (fun row ->
+           Printf.sprintf
+             "{\"link\":%s,\"bandwidth\":%s,\"bytes\":%s,\"static_bytes\":%s,\"preload\":%s,\"distribute\":%s,\"exchange\":%s,\"busy\":%s,\"util\":%s,\"bookings\":%d}"
+             (J.quote row.l_name) (g row.l_bandwidth) (g row.l_volume)
+             (g row.l_static) (g row.l_preload) (g row.l_distribute)
+             (g row.l_exchange) (g row.l_busy) (g row.l_util) row.l_bookings)
+  in
+  let hist =
+    List.map
+      (fun (h, n, bytes) ->
+        Printf.sprintf "{\"hops\":%d,\"transfers\":%d,\"bytes\":%s}" h n
+          (g bytes))
+      rep.hops
+  in
+  let busiest = function
+    | Some (l, t) ->
+        Printf.sprintf "{\"link\":%s,\"seconds\":%s}" (J.quote (N.link_name l))
+          (g t)
+    | None -> "null"
+  in
+  String.concat ""
+    [
+      "{";
+      Printf.sprintf "\"model\":%s," (J.quote rep.model);
+      (* Tracediff-comparable core: total + segments *)
+      Printf.sprintf "\"total\":%s,\"dominant\":\"interconnect\"," (g rep.total);
+      Printf.sprintf "\"resource_seconds\":{\"interconnect\":%s},"
+        (g busy_total);
+      Printf.sprintf "\"segments\":[%s]," (String.concat "," segments);
+      (* Full interconnect payload *)
+      Printf.sprintf "\"topology\":%s,\"links_touched\":%d,\"transfers\":%d,"
+        (J.quote rep.topology) (List.length rep.rows)
+        (Nt.num_transfers rep.trace);
+      Printf.sprintf
+        "\"preload_bytes\":%s,\"distribute_bytes\":%s,\"exchange_bytes\":%s,"
+        (g rep.pre_bytes) (g rep.dist_bytes) (g rep.ex_bytes);
+      Printf.sprintf "\"mean_hops\":%s," (g rep.mean_hops);
+      Printf.sprintf "\"busiest\":%s,\"busiest_static\":%s,"
+        (busiest rep.busiest_dyn)
+        (busiest rep.busiest_static);
+      Printf.sprintf "\"links\":[%s]," (String.concat "," links);
+      Printf.sprintf "\"hops\":[%s]," (String.concat "," hist);
+      Printf.sprintf "\"series\":%s"
+        (Ts.to_json rep.series ~horizon:rep.total ());
+      "}";
+    ]
+
+(* ---- Perfetto counter tracks ------------------------------------------ *)
+
+(* Distinct from the device timeline (pid 1), serving lanes (pid 7),
+   memory counters (pid 8) and generic Timeseries counters (pid 9). *)
+let noc_pid = 10
+
+let chrome_counter_events rep =
+  List.concat_map
+    (fun name ->
+      Ts.chrome_counter_events rep.series ~horizon:rep.total ~pid:noc_pid name)
+    rep.series_names

@@ -136,6 +136,21 @@ let hbm_ctrl_for_core t c =
   check_node t (Core c) "hbm_ctrl_for_core";
   Hbm (c mod t.chip.Arch.hbm_controllers)
 
+(* Structural compare is a total order on this variant (constructor
+   declaration order, then field order) — deterministic, independent of
+   hash-table layout, and stable across runs and worker counts. *)
+let compare_link (a : link) (b : link) = Stdlib.compare a b
+
+let link_name (l : link) =
+  match l with
+  | Port_in (Core c) -> Printf.sprintf "port_in(core %d)" c
+  | Port_in (Hbm h) -> Printf.sprintf "port_in(hbm %d)" h
+  | Port_out (Core c) -> Printf.sprintf "port_out(core %d)" c
+  | Port_out (Hbm h) -> Printf.sprintf "port_out(hbm %d)" h
+  | Edge { from_core; to_core } -> Printf.sprintf "edge(%d->%d)" from_core to_core
+  | Hbm_edge { ctrl; entry } -> Printf.sprintf "hbm_edge(%d->%d)" ctrl entry
+  | L2_fabric -> "l2_fabric"
+
 module Load = struct
   type loads = {
     noc : t;
@@ -162,24 +177,32 @@ module Load = struct
   let volume_on l link =
     match Hashtbl.find_opt l.volumes link with Some v -> !v | None -> 0.
 
+  (* Canonical iteration over per-link volumes: sorted by {!compare_link}
+     so every consumer (busiest link, profiles, reports) sees links in
+     one deterministic order, whatever the hash-table layout. *)
+  let fold l f init =
+    Hashtbl.fold (fun link v acc -> (link, !v) :: acc) l.volumes []
+    |> List.sort (fun (a, _) (b, _) -> compare_link a b)
+    |> List.fold_left (fun acc (link, vol) -> f acc link vol) init
+
   let total_volume l = l.total
 
   let makespan l =
     let worst =
-      Hashtbl.fold
-        (fun link v acc -> Float.max acc (!v /. link_bandwidth l.noc link))
-        l.volumes 0.
+      fold l
+        (fun acc link vol -> Float.max acc (vol /. link_bandwidth l.noc link))
+        0.
     in
     if worst = 0. then 0. else worst +. l.worst_latency
 
   let busiest l =
-    Hashtbl.fold
-      (fun link v acc ->
-        let time = !v /. link_bandwidth l.noc link in
+    fold l
+      (fun acc link vol ->
+        let time = vol /. link_bandwidth l.noc link in
         match acc with
         | Some (_, best) when best >= time -> acc
         | _ -> Some (link, time))
-      l.volumes None
+      None
 
   let mean_utilization l ~horizon =
     if horizon <= 0. then 0.

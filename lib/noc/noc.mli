@@ -66,6 +66,14 @@ val hbm_ctrl_for_core : t -> int -> node
 (** The controller that serves a core's preload requests (cores are
     striped over controllers). *)
 
+val compare_link : link -> link -> int
+(** A total order on links — the canonical ordering used by
+    {!Load.fold}, deterministic across runs and worker counts. *)
+
+val link_name : link -> string
+(** Stable human-readable name, e.g. ["port_in(core 3)"],
+    ["edge(3->4)"], ["hbm_edge(0->12)"]. *)
+
 (** Accumulate a set of transfers into per-link volumes. *)
 module Load : sig
   type loads
@@ -75,6 +83,13 @@ module Load : sig
   (** Attribute [bytes] to every link on the route. *)
 
   val volume_on : loads -> link -> float
+
+  val fold : loads -> ('a -> link -> float -> 'a) -> 'a -> 'a
+  (** [fold l f init] folds [f] over every (link, volume) pair in the
+      canonical {!compare_link} order — deterministic whatever the
+      insertion order, so consumers never re-enumerate links by hand.
+      {!busiest} and {!makespan} are folds over this. *)
+
   val total_volume : loads -> float
   (** Sum over transfers of [bytes] (counted once per transfer, not per
       hop). *)
@@ -85,7 +100,9 @@ module Load : sig
       seen. *)
 
   val busiest : loads -> (link * float) option
-  (** Most loaded link by transfer time [volume / bandwidth]. *)
+  (** Most loaded link by transfer time [volume / bandwidth]; ties
+      resolve to the link earliest in the canonical {!compare_link}
+      order. *)
 
   val mean_utilization : loads -> horizon:float -> float
   (** Average over {e core} ports of [volume / bandwidth / horizon] —

@@ -47,6 +47,8 @@ type batch_trace = {
   b_live : int array;  (* requests still generating at step k *)
   b_fresh_plans : int;  (* decode plans compiled for this batch (0 on cache hit) *)
   b_highwater : float;  (* peak static per-core SRAM bytes of its plans *)
+  b_busiest_link : string;  (* hottest interconnect link of its plans ("" without noc) *)
+  b_link_busy : float;  (* that link's reservation seconds (0 without noc) *)
 }
 
 type result = {
@@ -68,7 +70,7 @@ let next_pow2 n =
 let token_quantum = 16
 
 let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
-    ?(max_batch = 8) ?(plan_cache_cap = 512) env cfg requests =
+    ?(max_batch = 8) ?(plan_cache_cap = 512) ?(noc = false) env cfg requests =
   if requests = [] then invalid_arg "Frontend.run: no requests";
   if max_batch <= 0 then invalid_arg "Frontend.run: max_batch must be positive";
   if plan_cache_cap <= 0 then
@@ -97,8 +99,8 @@ let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
         (r, 0)
     | None ->
         let r =
-          Serve.serve ~design ~recompile_every ~prefill:true ?elk_options env cfg
-            ~batch:bucket ~prompt_ctx ~tokens
+          Serve.serve ~design ~recompile_every ~prefill:true ?elk_options ~noc
+            env cfg ~batch:bucket ~prompt_ctx ~tokens
         in
         if Hashtbl.length cache >= plan_cache_cap then begin
           let victim =
@@ -186,6 +188,8 @@ let run ?(design = B.Elk_full) ?(recompile_every = 64) ?elk_options ?jobs
             b_live = live;
             b_fresh_plans = fresh;
             b_highwater = sr.Serve.highwater;
+            b_busiest_link = sr.Serve.busiest_link;
+            b_link_busy = sr.Serve.link_busy;
           }
         in
         Elk_obs.Logger.debug ~src:"frontend"
@@ -234,7 +238,7 @@ let ttft t = t.first_token -. t.req.Workload.arrival_s
    counters per decode step, and rolling TTFT/ITL histograms.  Events
    are generated in chronological order per series, so gauge integration
    is exact. *)
-let timeseries ?window ?(mem = false) r =
+let timeseries ?window ?(mem = false) ?(noc = false) r =
   let window =
     match window with
     | Some w -> w
@@ -298,6 +302,20 @@ let timeseries ?window ?(mem = false) r =
       (fun b ->
         Elk_obs.Timeseries.set ts "sram_highwater_per_core" ~time:b.b_formed
           b.b_highwater)
+      r.batches
+  end;
+  (* busiest interconnect link gauge (opt-in): reservation seconds on
+     the hottest link of whichever plan set is serving the engine,
+     stepping at each batch formation *)
+  if noc then begin
+    Elk_obs.Timeseries.set ts "noc_busiest_link_busy" ~time:0. 0.
+      ~help:
+        "Reservation seconds on the hottest interconnect link of the plans \
+         serving each batch";
+    List.iter
+      (fun b ->
+        Elk_obs.Timeseries.set ts "noc_busiest_link_busy" ~time:b.b_formed
+          b.b_link_busy)
       r.batches
   end;
   (* rolling latency distributions *)

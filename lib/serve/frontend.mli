@@ -34,6 +34,11 @@ type batch_trace = {
   b_highwater : float;
       (** peak static per-core SRAM bytes across the plans serving this
           batch ({!Serve.run.highwater} of its memoized run) *)
+  b_busiest_link : string;
+      (** hottest interconnect link across the plans serving this batch
+          ({!Serve.run.busiest_link}; [""] when [run] was called without
+          [noc]) *)
+  b_link_busy : float;  (** that link's reservation seconds (0 without [noc]) *)
 }
 
 type result = {
@@ -53,6 +58,7 @@ val run :
   ?jobs:int ->
   ?max_batch:int ->
   ?plan_cache_cap:int ->
+  ?noc:bool ->
   Elk_dse.Dse.env ->
   Elk_model.Zoo.config ->
   Workload.request list ->
@@ -64,8 +70,11 @@ val run :
     The shape memo is bounded by [plan_cache_cap] (default 512) with
     least-recently-used eviction ([elk_serve_plan_evictions_total]
     counts evictions); an evicted shape that recurs is recompiled.
-    Raises [Invalid_argument] on an empty or out-of-order request list
-    or nonpositive [max_batch] / [plan_cache_cap]. *)
+    [noc] (default false) records per-link interconnect traffic in each
+    plan's simulation and fills the [b_busiest_link] / [b_link_busy]
+    batch fields; latencies are identical either way.  Raises
+    [Invalid_argument] on an empty or out-of-order request list or
+    nonpositive [max_batch] / [plan_cache_cap]. *)
 
 val queue_wait : req_trace -> float
 (** Arrival to batch admission. *)
@@ -73,12 +82,16 @@ val queue_wait : req_trace -> float
 val ttft : req_trace -> float
 (** Arrival to first decode-token completion. *)
 
-val timeseries : ?window:float -> ?mem:bool -> result -> Elk_obs.Timeseries.t
+val timeseries :
+  ?window:float -> ?mem:bool -> ?noc:bool -> result -> Elk_obs.Timeseries.t
 (** Replay the lifecycle into a {!Elk_obs.Timeseries}: [queue_depth] and
     [inflight_requests] gauges, [tokens_completed] / [tokens_padded]
     counters per decode step, and rolling [ttft] / [itl] / [queue_wait]
     histograms.  With [mem] (default false) also a
-    [sram_highwater_per_core] gauge stepping at each batch formation.
+    [sram_highwater_per_core] gauge stepping at each batch formation;
+    with [noc] (default false) a [noc_busiest_link_busy] gauge of the
+    hottest link's reservation seconds, stepping the same way (the
+    result must come from {!run} with [noc] for it to be non-zero).
     [window] defaults to [makespan / 48]. *)
 
 val serving_pid : int

@@ -11,12 +11,14 @@ type run = {
   tokens_per_second : float;
   recompilations : int;
   highwater : float;
+  busiest_link : string;
+  link_busy : float;
 }
 
 let round_up v quantum = (v + quantum - 1) / quantum * quantum
 
 let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk_options
-    ?jobs env cfg ~batch ~prompt_ctx ~tokens =
+    ?jobs ?(noc = false) env cfg ~batch ~prompt_ctx ~tokens =
   if tokens <= 0 || batch <= 0 || prompt_ctx <= 0 then
     invalid_arg "Serve.serve: nonpositive workload parameter";
   (* Every recompile in the loop goes through the shared pool; size it
@@ -41,6 +43,22 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
     in
     highwater := Float.max !highwater ledger.Elk.Residency.high_water
   in
+  (* Peak busy-time interconnect link across every plan this run
+     simulates, from the per-link record ([~noc] only).  link_stats is
+     canonically ordered, so a strict [>] keeps ties deterministic. *)
+  let busiest_link = ref "" and link_busy = ref 0. in
+  let note_noc (r : Elk_sim.Sim.result) =
+    match r.Elk_sim.Sim.noc with
+    | None -> ()
+    | Some nt ->
+        List.iter
+          (fun s ->
+            if s.Elk_sim.Noctrace.ls_busy > !link_busy then begin
+              link_busy := s.Elk_sim.Noctrace.ls_busy;
+              busiest_link := Elk_noc.Noc.link_name s.Elk_sim.Noctrace.ls_link
+            end)
+          (Elk_sim.Noctrace.link_stats nt)
+  in
   let plan_for ctx_len =
     match Hashtbl.find_opt plans ctx_len with
     | Some entry -> (entry, false)
@@ -62,7 +80,8 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
                 match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
                 | Some s ->
                     note_plan s;
-                    let r = Elk_sim.Sim.run env.D.ctx s in
+                    let r = Elk_sim.Sim.run ~noc env.D.ctx s in
+                    note_noc r;
                     r.Elk_sim.Sim.total
                     +. Elk.Sharding.allreduce_time env.D.pod
                          (Elk.Sharding.shard_graph ~chips graph)
@@ -86,7 +105,8 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
         match B.plan ?elk_options env.D.ctx ~pod:env.D.pod graph design with
         | Some s ->
             note_plan s;
-            let r = Elk_sim.Sim.run env.D.ctx s in
+            let r = Elk_sim.Sim.run ~noc env.D.ctx s in
+            note_noc r;
             r.Elk_sim.Sim.total
             +. Elk.Sharding.allreduce_time env.D.pod
                  (Elk.Sharding.shard_graph ~chips graph)
@@ -130,6 +150,8 @@ let serve ?(design = B.Elk_full) ?(recompile_every = 64) ?(prefill = false) ?elk
     tokens_per_second;
     recompilations = Hashtbl.length plans;
     highwater = !highwater;
+    busiest_link = !busiest_link;
+    link_busy = !link_busy;
   }
 
 let time_to_first_token r =

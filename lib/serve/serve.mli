@@ -31,6 +31,12 @@ type run = {
       (** peak static per-core SRAM demand (bytes) across every plan the
           run compiled, prefill included — the {!Elk.Residency} ledger's
           high water, read off each schedule at compile time. *)
+  busiest_link : string;
+      (** name of the busiest interconnect link (by reservation time)
+          across every plan the run simulated, when the run was made
+          with [noc]; [""] otherwise. *)
+  link_busy : float;
+      (** that link's reservation seconds; [0.] without [noc]. *)
 }
 
 val serve :
@@ -39,6 +45,7 @@ val serve :
   ?prefill:bool ->
   ?elk_options:Elk.Compile.options ->
   ?jobs:int ->
+  ?noc:bool ->
   Elk_dse.Dse.env ->
   Elk_model.Zoo.config ->
   batch:int ->
@@ -54,8 +61,11 @@ val serve :
     defaults to [Elk_full].  [jobs] resizes the shared compilation pool
     ({!Elk_util.Pool.set_jobs}) before the loop, so every recompile in
     the generation runs its order search on that many domains; plans are
-    identical whatever the value.  Raises [Invalid_argument] for
-    nonpositive [tokens]/[batch]/[prompt_ctx]. *)
+    identical whatever the value.  [noc] (default false) turns on
+    per-link interconnect recording in each plan's simulation and fills
+    the [busiest_link]/[link_busy] fields; recording is pure
+    bookkeeping, so latencies are identical either way.  Raises
+    [Invalid_argument] for nonpositive [tokens]/[batch]/[prompt_ctx]. *)
 
 val time_to_first_token : run -> float
 (** [prefill_latency] plus the first decode step's latency. *)

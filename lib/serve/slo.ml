@@ -59,8 +59,9 @@ let attains ?slo_ttft ?slo_itl (t : Frontend.req_trace) =
   let ok target v = match target with None -> true | Some x -> v <= x in
   ok slo_ttft (Frontend.ttft t) && ok slo_itl (S.mean t.itls)
 
-let of_result ?slo_ttft ?slo_itl ?window ?mem ~workload ~seed (r : Frontend.result) =
-  let series = Frontend.timeseries ?window ?mem r in
+let of_result ?slo_ttft ?slo_itl ?window ?mem ?noc ~workload ~seed
+    (r : Frontend.result) =
+  let series = Frontend.timeseries ?window ?mem ?noc r in
   (* The time series must tile [0, makespan] edge to edge — a gap means
      a window went missing and every rate in the report is suspect. *)
   List.iter

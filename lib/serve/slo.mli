@@ -48,12 +48,14 @@ val of_result :
   ?slo_itl:float ->
   ?window:float ->
   ?mem:bool ->
+  ?noc:bool ->
   workload:string ->
   seed:int ->
   Frontend.result ->
   report
-(** Build the report.  [mem] is passed through to
-    {!Frontend.timeseries} (SRAM high-water gauge, default off).
+(** Build the report.  [mem] and [noc] are passed through to
+    {!Frontend.timeseries} (SRAM high-water and busiest-link gauges,
+    both default off).
     Validates that every time series tiles [[0, makespan]] edge to edge
     ({!Elk_obs.Timeseries.check_tiling}) and raises [Invalid_argument]
     if any window is missing. *)

@@ -30,6 +30,7 @@ type result = {
   perf : Perfcore.t;
   events : Critpath.event array option;
   mem : Memtrace.t option;
+  noc : Noctrace.t option;
 }
 
 (* Per-link reservation state, split into two traffic classes sharing each
@@ -109,8 +110,10 @@ let effective_bw f l =
   | N.Port_out (N.Hbm _) -> bw (* controller ports carry only preload traffic *)
   | _ -> bw *. f.share
 
-(* Returns (completion_time, queuing_delay). *)
-let transfer f ~src ~dst ~bytes ~not_before =
+(* Returns (completion_time, queuing_delay).  [tr] mirrors the exact
+   per-link reservations (and the transfer envelope) into a Noctrace
+   record — pure bookkeeping, never read back into timing. *)
+let transfer ?tr f ~src ~dst ~bytes ~not_before =
   if src = dst || bytes <= 0. then (not_before, 0.)
   else begin
     let route = N.route f.noc ~src ~dst in
@@ -129,7 +132,19 @@ let transfer f ~src ~dst ~bytes ~not_before =
         r := start +. (bytes /. effective_bw f l))
       route;
     let latency = N.route_latency f.noc ~src ~dst in
-    (start +. latency +. (bytes /. bottleneck), start -. not_before)
+    let finish = start +. latency +. (bytes /. bottleneck) in
+    (match tr with
+    | None -> ()
+    | Some (nt, cls, op) ->
+        List.iter
+          (fun l ->
+            Noctrace.record_booking nt ~cls ~op ~link:l ~bytes ~t_start:start
+              ~t_end:(start +. (bytes /. effective_bw f l)))
+          route;
+        Noctrace.record_transfer nt ~cls ~op ~src ~dst ~bytes
+          ~hops:(List.length route) ~wait:(start -. not_before) ~t_start:start
+          ~t_end:finish);
+    (finish, start -. not_before)
   end
 
 (* Aggregate capacity of the core-side interconnect links: ports for the
@@ -168,6 +183,12 @@ let default_mem =
   | Some ("1" | "true" | "on" | "yes") -> true
   | _ -> false
 
+(* Per-link interconnect recording (Noctrace): same contract again. *)
+let default_noc =
+  match Sys.getenv_opt "ELK_SIM_NOC" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
 type recorder = {
   mutable log : Critpath.event list;  (* reverse emission order *)
   mutable n_events : int;
@@ -193,7 +214,7 @@ let emit rc ~op ~kind ~t_start ~t_end ~parent ~deps ~port_wait =
    Ties go to [on_b] (callers pass the data-dependency side there). *)
 let binding ~a ~on_a ~b ~on_b = if on_b < 0 || (a > b && on_a >= 0) then on_a else on_b
 
-let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
+let run_impl ~skew ~record ~record_mem ~record_noc ctx (s : Elk.Schedule.t) =
   (match Elk.Schedule.validate s with
   | Ok () -> ()
   | Error m -> invalid_arg ("Sim.run: invalid schedule: " ^ m));
@@ -239,6 +260,11 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
   let mrec =
     if record_mem then Some (Memtrace.create ~cores:chip.Arch.cores ~ops:n)
     else None
+  in
+  let nrec = if record_noc then Some (Noctrace.create noc) else None in
+  (* Tag for [transfer]'s recording hook: (recorder, class, op). *)
+  let ntag cls op =
+    match nrec with Some nt -> Some (nt, cls, op) | None -> None
   in
   let cores_of plan = plan.P.cores_used in
   Array.iter
@@ -318,12 +344,33 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
                     per_core /. effective_bw pre_fabric (N.Port_in (N.Core h))
                   in
                   out := start +. ctrl_service;
+                  if per_core > 0. then
+                    Option.iter
+                      (fun nt ->
+                        Noctrace.record_booking nt ~cls:Noctrace.Preload ~op
+                          ~link:(N.Port_out (N.Hbm h)) ~bytes:ctrl_volume
+                          ~t_start:start ~t_end:(start +. ctrl_service))
+                      nrec;
                   for c = 0 to chip.Arch.cores - 1 do
                     if c mod nctrl = h then begin
                       let inp = link_free pre_fabric (N.Port_in (N.Core c)) in
                       let s = Float.max start !inp in
                       inp := s +. inbound;
                       pre_fabric.link_volume <- pre_fabric.link_volume +. per_core;
+                      if per_core > 0. then
+                        Option.iter
+                          (fun nt ->
+                            Noctrace.record_booking nt ~cls:Noctrace.Preload
+                              ~op ~link:(N.Port_in (N.Core c)) ~bytes:per_core
+                              ~t_start:s ~t_end:(s +. inbound);
+                            Noctrace.record_transfer nt ~cls:Noctrace.Preload
+                              ~op ~src:(N.Hbm h) ~dst:(N.Core c)
+                              ~bytes:per_core ~hops:2 ~wait:(s -. gate)
+                              ~t_start:s
+                              ~t_end:
+                                (s +. Float.max inbound ctrl_service
+                                +. chip.Arch.intercore_link.Arch.latency))
+                          nrec;
                       finish :=
                         Float.max !finish
                           (s +. Float.max inbound ctrl_service
@@ -337,8 +384,8 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
                 for c = 0 to chip.Arch.cores - 1 do
                   let src = N.hbm_ctrl_for_core noc c in
                   let done_c, _wait =
-                    transfer pre_fabric ~src ~dst:(N.Core c) ~bytes:per_core
-                      ~not_before:gate
+                    transfer ?tr:(ntag Noctrace.Preload op) pre_fabric ~src
+                      ~dst:(N.Core c) ~bytes:per_core ~not_before:gate
                   in
                   ideal :=
                     Float.max !ideal
@@ -403,8 +450,8 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
             for c = 0 to ncores - 1 do
               let src = N.Core ((c + 1) mod ncores) in
               let done_c, wait_c =
-                transfer fg_fabric ~src ~dst:(N.Core c) ~bytes:dist_per_core
-                  ~not_before:start
+                transfer ?tr:(ntag Noctrace.Distribute op) fg_fabric ~src
+                  ~dst:(N.Core c) ~bytes:dist_per_core ~not_before:start
               in
               dist_done.(c) <- done_c;
               dist_wait.(c) <- wait_c;
@@ -440,8 +487,8 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
             for c = 0 to ncores - 1 do
               let src = N.Core ((c + ncores - 1) mod ncores) in
               let done_c, wait_c =
-                transfer fg_fabric ~src ~dst:(N.Core c) ~bytes:ex_per_core
-                  ~not_before:!compute_end
+                transfer ?tr:(ntag Noctrace.Exchange op) fg_fabric ~src
+                  ~dst:(N.Core c) ~bytes:ex_per_core ~not_before:!compute_end
               in
               ex_done.(c) <- done_c;
               ex_wait.(c) <- wait_c;
@@ -647,13 +694,14 @@ let run_impl ~skew ~record ~record_mem ctx (s : Elk.Schedule.t) =
     perf;
     events = Option.map (fun rc -> Array.of_list (List.rev rc.log)) rc;
     mem = mrec;
+    noc = nrec;
   }
 
-let run ?(skew = 0.02) ?(events = default_events) ?(mem = default_mem) ctx
-    (s : Elk.Schedule.t) =
+let run ?(skew = 0.02) ?(events = default_events) ?(mem = default_mem)
+    ?(noc = default_noc) ctx (s : Elk.Schedule.t) =
   Elk_obs.Span.with_span "sim-run"
     ~attrs:[ ("ops", string_of_int (Elk.Schedule.num_ops s)) ]
-    (fun () -> run_impl ~skew ~record:events ~record_mem:mem ctx s)
+    (fun () -> run_impl ~skew ~record:events ~record_mem:mem ~record_noc:noc ctx s)
 
 let compare_with_timeline ctx s =
   let sim = run ctx s in

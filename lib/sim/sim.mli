@@ -63,23 +63,30 @@ type result = {
           [~mem:true] (or [ELK_SIM_MEM=1]); [None] otherwise.  Feed to
           {!Elk_analyze.Memprof} for occupancy timelines and wasted
           residency. *)
+  noc : Noctrace.t option;
+      (** per-link interconnect record, only when {!run} is called with
+          [~noc:true] (or [ELK_SIM_NOC=1]); [None] otherwise.  Feed to
+          {!Elk_analyze.Nocprof} for per-link utilization timelines and
+          congestion profiles. *)
 }
 
 val run :
   ?skew:float ->
   ?events:bool ->
   ?mem:bool ->
+  ?noc:bool ->
   Elk_partition.Partition.ctx ->
   Elk.Schedule.t ->
   result
 (** Simulate one chip executing a schedule.  [skew] (default 0.02) is the
     relative deterministic per-core compute-time perturbation.  [events]
     (default: the [ELK_SIM_EVENTS] env var, off otherwise) turns on
-    causal event recording, and [mem] (default: [ELK_SIM_MEM]) turns on
-    SRAM-residency recording; both are pure bookkeeping — recorded
-    times are never read back, so the simulated timeline is identical
-    either way.  Raises [Invalid_argument] if the schedule fails
-    validation. *)
+    causal event recording, [mem] (default: [ELK_SIM_MEM]) turns on
+    SRAM-residency recording, and [noc] (default: [ELK_SIM_NOC]) turns
+    on per-link interconnect recording; all three are pure bookkeeping —
+    recorded times are never read back, so the simulated timeline is
+    identical either way.  Raises [Invalid_argument] if the schedule
+    fails validation. *)
 
 val compare_with_timeline :
   Elk_partition.Partition.ctx -> Elk.Schedule.t -> float

@@ -171,6 +171,34 @@ let test_plan_cache_cap () =
         b.Frontend.finish)
     full.Frontend.requests capped.Frontend.requests
 
+(* serve --noc: with interconnect recording on, every batch carries the
+   hottest link of its plans, the busiest-link gauge enters the series,
+   and the lifecycle timestamps are identical to a run without it. *)
+let test_noc_gauge () =
+  let reqs = Workload.generate ~seed:21 ~n:6 spec in
+  let env = Elk_dse.Dse.env () in
+  let plain = Frontend.run ~design:B.Elk_dyn ~max_batch:4 env cfg reqs in
+  let noc = Frontend.run ~design:B.Elk_dyn ~max_batch:4 ~noc:true env cfg reqs in
+  Tu.check_float "makespan identical" plain.Frontend.makespan
+    noc.Frontend.makespan;
+  List.iter
+    (fun (b : Frontend.batch_trace) ->
+      Alcotest.(check bool) "busiest link named" true (b.Frontend.b_busiest_link <> "");
+      Alcotest.(check bool) "link busy positive" true (b.Frontend.b_link_busy > 0.))
+    noc.Frontend.batches;
+  List.iter
+    (fun (b : Frontend.batch_trace) ->
+      Alcotest.(check string) "off-mode link empty" "" b.Frontend.b_busiest_link)
+    plain.Frontend.batches;
+  let ts = Frontend.timeseries ~noc:true noc in
+  Alcotest.(check bool) "gauge present" true
+    (List.mem "noc_busiest_link_busy" (Elk_obs.Timeseries.names ts));
+  let rp =
+    Slo.of_result ~noc:true ~workload:"poisson" ~seed:21 noc
+  in
+  Alcotest.(check bool) "slo report carries the gauge" true
+    (List.mem "noc_busiest_link_busy" (Elk_obs.Timeseries.names rp.Slo.series))
+
 let test_rejects_bad_input () =
   let bad f =
     match f () with
@@ -194,5 +222,6 @@ let suite =
     Alcotest.test_case "slo report" `Quick test_slo_report;
     Alcotest.test_case "determinism across jobs" `Quick
       test_determinism_across_jobs;
+    Alcotest.test_case "noc busiest-link gauge" `Quick test_noc_gauge;
     Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
   ]

@@ -33,6 +33,7 @@ let () =
       ("workload", Test_workload.suite);
       ("timeseries", Test_timeseries.suite);
       ("memprof", Test_memprof.suite);
+      ("nocprof", Test_nocprof.suite);
       ("frontend", Test_frontend.suite);
       ("integration", Test_integration.suite);
     ]

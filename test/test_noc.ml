@@ -149,6 +149,35 @@ let test_hbm_broadcast_parallel () =
   in
   Tu.check_rel "max(inbound, ctrl)" ~tolerance:0.15 (Float.max inbound ctrl) time
 
+let test_load_fold_canonical () =
+  let t = a2a () in
+  let l = Noc.Load.create t in
+  Noc.Load.add l ~src:(Noc.Core 5) ~dst:(Noc.Core 1) ~bytes:10.;
+  Noc.Load.add l ~src:(Noc.Core 0) ~dst:(Noc.Core 3) ~bytes:20.;
+  Noc.Load.add l ~src:(Noc.Hbm 0) ~dst:(Noc.Core 2) ~bytes:30.;
+  let links = List.rev (Noc.Load.fold l (fun acc link _ -> link :: acc) []) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Noc.compare_link a b < 0 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "canonically sorted" true (sorted links);
+  Alcotest.(check int) "each touched link appears once" 6 (List.length links);
+  Tu.check_float "per-link volume sum (both ports per transfer)" 120.
+    (Noc.Load.fold l (fun acc _ v -> acc +. v) 0.);
+  (* busiest goes through the same fold: the 30-byte HBM delivery rides
+     the faster controller port, so the hottest core port wins. *)
+  match Noc.Load.busiest l with
+  | Some (Noc.Port_in (Noc.Core 2), _) -> ()
+  | _ -> Alcotest.fail "expected port_in(core 2) as busiest"
+
+let test_mean_utilization_zero_horizon () =
+  let t = a2a () in
+  let l = Noc.Load.create t in
+  Noc.Load.add l ~src:(Noc.Core 0) ~dst:(Noc.Core 1) ~bytes:1e6;
+  Tu.check_float "zero horizon" 0. (Noc.Load.mean_utilization l ~horizon:0.);
+  Tu.check_float "negative horizon" 0.
+    (Noc.Load.mean_utilization l ~horizon:(-1.))
+
 let test_mesh_utilization_nonzero () =
   let t = mesh () in
   let l = Noc.Load.create t in
@@ -171,6 +200,47 @@ let qcheck_transfer_time_monotone =
       let t = a2a () in
       let f b = Noc.transfer_time t ~src:(Noc.Core 0) ~dst:(Noc.Core 1) ~bytes:b in
       if b1 <= b2 then f b1 <= f b2 else f b2 <= f b1)
+
+let qcheck_transfer_time_monotone_mesh =
+  Tu.qtest ~count:60 "noc: mesh transfer time grows with volume"
+    QCheck2.Gen.(triple (float_range 1. 1e6) (float_range 1. 1e6)
+                   (pair (int_bound 63) (int_bound 63)))
+    (fun (b1, b2, (s, d)) ->
+      let t = mesh () in
+      let f b = Noc.transfer_time t ~src:(Noc.Core s) ~dst:(Noc.Core d) ~bytes:b in
+      if b1 <= b2 then f b1 <= f b2 else f b2 <= f b1)
+
+let qcheck_hops_equals_route_length =
+  Tu.qtest ~count:80 "noc: hops equals route length on both topologies"
+    QCheck2.Gen.(triple bool (int_bound 63) (int_bound 63))
+    (fun (use_mesh, s, d) ->
+      let t = if use_mesh then mesh () else a2a () in
+      let agrees src dst =
+        Noc.hops t ~src ~dst = List.length (Noc.route t ~src ~dst)
+      in
+      agrees (Noc.Core s) (Noc.Core d) && agrees (Noc.Hbm (s mod 4)) (Noc.Core d))
+
+(* XY routes are hop-minimal *and* valid: a chain of unit-distance mesh
+   edges from src to dst. *)
+let qcheck_mesh_route_valid_path =
+  Tu.qtest ~count:80 "noc: mesh XY route is a connected edge path"
+    QCheck2.Gen.(pair (int_bound 63) (int_bound 63))
+    (fun (s, d) ->
+      let t = mesh () in
+      let r = Noc.route t ~src:(Noc.Core s) ~dst:(Noc.Core d) in
+      let adjacent a b =
+        abs ((a / 8) - (b / 8)) + abs ((a mod 8) - (b mod 8)) = 1
+      in
+      let ok, last =
+        List.fold_left
+          (fun (ok, cur) l ->
+            match l with
+            | Noc.Edge { from_core; to_core } ->
+                (ok && from_core = cur && adjacent from_core to_core, to_core)
+            | _ -> (false, cur))
+          (true, s) r
+      in
+      ok && last = d && (s <> d || r = []))
 
 
 (* ---- GPU-style clustered fabric ----------------------------------- *)
@@ -229,6 +299,9 @@ let suite =
     ("noc: empty load", `Quick, test_load_empty);
     ("noc: broadcast from core", `Quick, test_broadcast_time);
     ("noc: HBM broadcast parallel", `Quick, test_hbm_broadcast_parallel);
+    ("noc: load fold canonical order", `Quick, test_load_fold_canonical);
+    ("noc: mean utilization guards empty horizon", `Quick,
+     test_mean_utilization_zero_horizon);
     ("noc: mesh utilization", `Quick, test_mesh_utilization_nonzero);
     ("noc: cluster intra route", `Quick, test_cluster_intra_route);
     ("noc: cluster inter route", `Quick, test_cluster_inter_route);
@@ -237,4 +310,7 @@ let suite =
     ("noc: cluster L2 serializes", `Quick, test_cluster_l2_serializes);
     qcheck_mesh_route_connects;
     qcheck_transfer_time_monotone;
+    qcheck_transfer_time_monotone_mesh;
+    qcheck_hops_equals_route_length;
+    qcheck_mesh_route_valid_path;
   ]

@@ -103,6 +103,8 @@ let test_zero_step_guards () =
       tokens_per_second = 0.;
       recompilations = 0;
       highwater = 0.;
+      busiest_link = "";
+      link_busy = 0.;
     }
   in
   Alcotest.(check (float 0.)) "mean latency" 0. (Serve.mean_latency empty);

@@ -31,6 +31,9 @@ let tiny_llama_chip_graph =
 let tiny_schedule =
   lazy (Elk.Scheduler.run (Lazy.force default_ctx) (Lazy.force tiny_llama_chip_graph))
 
+let mesh_schedule =
+  lazy (Elk.Scheduler.run (Lazy.force mesh_ctx) (Lazy.force tiny_llama_chip_graph))
+
 let matmul_op = Elk_tensor.Opspec.matmul ~name:"t.mm" ~m:32 ~n:256 ~k:256 ()
 
 let check_float = Alcotest.(check (float 1e-9))
